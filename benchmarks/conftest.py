@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation at a reduced (simulation-friendly) scale.  The benchmarks print
+the rows/series the paper reports so the shape can be compared; they use
+pytest-benchmark's ``pedantic`` mode with a single round because each
+"iteration" is a full simulated experiment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+#: Where benchmark result summaries are written (one JSON per experiment).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, payload: dict) -> None:
+    """Persist one experiment's summary next to the benchmark output."""
+    path = results_dir / f"{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)

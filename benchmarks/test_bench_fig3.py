@@ -1,0 +1,43 @@
+"""Benchmark: Fig. 3 — min-CP vs max-CP latency distributions per application.
+
+The paper observes up to ~1.6x spread in median latency and ~2.5x in the
+99th percentile between the fastest and slowest critical paths of each
+benchmark application.  The reproduced shape: the max-CP group is
+consistently slower than the min-CP group for every application.
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.fig3_cp_distributions import run_fig3
+
+
+def test_bench_fig3_cp_distributions(benchmark, results_dir):
+    results = benchmark.pedantic(
+        lambda: run_fig3(duration_s=60.0, load_rps=50.0),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Fig. 3: min-CP vs max-CP end-to-end latency ===")
+    print(f"{'application':>20} {'minCP p50':>10} {'maxCP p50':>10} {'p50 ratio':>10} {'p99 ratio':>10}")
+    payload = {}
+    for name, dist in results.items():
+        print(
+            f"{name:>20} {dist.min_cp.median:>10.1f} {dist.max_cp.median:>10.1f} "
+            f"{dist.median_ratio:>10.2f} {dist.p99_ratio:>10.2f}"
+        )
+        payload[name] = {
+            "min_cp": dist.min_cp.as_dict(),
+            "max_cp": dist.max_cp.as_dict(),
+            "median_ratio": dist.median_ratio,
+            "p99_ratio": dist.p99_ratio,
+        }
+    print("(paper: ~1.6x median spread, up to ~2.5x p99 spread)")
+    save_result(results_dir, "fig3", payload)
+
+    # Shape check: the slow CP group is slower than the fast group everywhere.
+    for name, dist in results.items():
+        assert dist.median_ratio >= 1.0, f"{name}: max-CP median should dominate"
+        assert dist.max_cp.count > 0 and dist.min_cp.count > 0

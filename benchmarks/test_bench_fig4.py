@@ -1,0 +1,37 @@
+"""Benchmark: Fig. 4 — scaling the highest-variance service wins.
+
+Reproduces Insight 2: under contention on ``text`` (high variance), scaling
+``text`` improves the end-to-end tail latency more than scaling
+``composePost`` (higher median but no contention).
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.fig4_variance_scaling import run_fig4
+
+
+def test_bench_fig4_variance_scaling(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fig4(duration_s=50.0, load_rps=40.0, intensity=0.85),
+        rounds=1,
+        iterations=1,
+    )
+    summary = result.summary()
+
+    print("\n=== Fig. 4: end-to-end p99 latency (ms) after scaling ===")
+    print(f"before:            {summary['before_p99_ms']:>10.1f}")
+    print(f"scale composePost: {summary['scale_compose_p99_ms']:>10.1f}  (highest median)")
+    print(f"scale text:        {summary['scale_text_p99_ms']:>10.1f}  (highest variance)")
+    print("--- individual latency statistics (before scaling) ---")
+    print(f"text   median={summary['text_individual_median_ms']:.1f} ms std={summary['text_individual_std_ms']:.1f} ms")
+    print(f"compose median={summary['compose_individual_median_ms']:.1f} ms std={summary['compose_individual_std_ms']:.1f} ms")
+    print("(paper: scaling the higher-variance service gives the better gain)")
+    save_result(results_dir, "fig4", summary)
+
+    # Shape checks: the contended service has the higher variance, and
+    # scaling it beats scaling the higher-median service.
+    assert summary["text_individual_std_ms"] > summary["compose_individual_std_ms"]
+    assert result.text_beats_compose
+    assert summary["scale_text_p99_ms"] <= summary["before_p99_ms"]

@@ -1,0 +1,51 @@
+"""Benchmark: Table 1 — critical path changes under anomaly injection.
+
+Reproduces the three ``<service, CP>`` cases of Table 1 on the Social
+Network post-compose request: injecting contention into video (V),
+userTag (U), or text (T) shifts the critical path so that the injected
+service dominates per-service latency, and end-to-end latency varies
+across the cases.
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.table1_cp_changes import TABLE1_SERVICES, run_table1
+
+
+def test_bench_table1_cp_changes(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_table1(duration_s=50.0, load_rps=40.0, intensity=0.9),
+        rounds=1,
+        iterations=1,
+    )
+
+    labels = list(TABLE1_SERVICES)
+    print("\n=== Table 1: per-service latency (ms) on the post-compose path ===")
+    print(f"{'case':>10} " + " ".join(f"{label:>8}" for label in labels) + f" {'total':>10}")
+    payload = []
+    for row in rows:
+        values = " ".join(f"{row.per_service_latency_ms[label]:>8.1f}" for label in labels)
+        print(f"{row.case:>10} {values} {row.total_latency_ms:>10.1f}")
+        payload.append({
+            "case": row.case,
+            "per_service_ms": row.per_service_latency_ms,
+            "total_ms": row.total_latency_ms,
+        })
+    save_result(results_dir, "table1", payload)
+
+    # Shape checks mirroring the paper's observations:
+    by_case = {row.case: row for row in rows}
+    # 1. The injected service has the largest latency increase in its own case.
+    for label in ("V", "U", "T"):
+        row = by_case[f"<{label},CP>"]
+        others = [c for c in ("V", "U", "T") if c != label]
+        for other in others:
+            assert (
+                row.per_service_latency_ms[label]
+                >= by_case[f"<{other},CP>"].per_service_latency_ms[label]
+            ), f"{label} should be slowest when {label} is injected"
+    # 2. End-to-end latency varies across the cases (paper: up to 1.6x).
+    totals = [row.total_latency_ms for row in rows]
+    assert max(totals) > min(totals)

@@ -1,0 +1,34 @@
+"""Benchmark: Table 6 — latency of resource-management operations.
+
+Samples the actuation model and reports the mean/SD per operation next to
+the paper's values (the model is parameterized by Table 6, so measured
+values should match closely; this bench verifies the deployment substrate
+charges realistic actuation costs).
+"""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.table6_operation_latency import run_table6, table6_rows
+
+
+def test_bench_table6_operation_latency(benchmark, results_dir):
+    results = benchmark.pedantic(lambda: run_table6(samples=5000), rounds=1, iterations=1)
+    rows = table6_rows(results)
+
+    print("\n=== Table 6: actuation latency (ms) ===")
+    print(f"{'operation':>28} {'mean':>8} {'sd':>8} {'paper mean':>12} {'paper sd':>10}")
+    for row in rows:
+        print(
+            f"{row['operation']:>28} {row['mean_ms']:>8.1f} {row['std_ms']:>8.1f} "
+            f"{row['paper_mean_ms']:>12.1f} {row['paper_std_ms']:>10.1f}"
+        )
+    save_result(results_dir, "table6", rows)
+
+    # The measured means must be within 15% of the paper's values, and the
+    # ordering (CPU/I-O cheap, memory/LLC mid, cold start expensive) must hold.
+    for measurement in results.values():
+        assert measurement.mean_error < 0.15
+    assert results["partition_cpu"].mean_ms < results["partition_llc"].mean_ms
+    assert results["container_start_warm"].mean_ms < results["container_start_cold"].mean_ms

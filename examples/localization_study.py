@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Study FIRM's SLO-violation localization pipeline on a single anomaly.
+
+Walks the Extractor's two stages explicitly (a miniature Fig. 9 study):
+
+1. inject CPU contention into one service of the Hotel Reservation
+   application;
+2. extract critical paths from the recent traces and show how often each
+   service appears on them;
+3. compute the (relative importance, congestion intensity) features and the
+   SVM's candidate set, comparing against the injection ground truth.
+
+Usage::
+
+    python examples/localization_study.py [--target search]
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections import Counter
+
+from repro.anomaly.anomalies import AnomalySpec, AnomalyType
+from repro.anomaly.campaigns import AnomalyCampaign
+from repro.core.critical_component import CriticalComponentExtractor
+from repro.core.critical_path import CriticalPathExtractor
+from repro.experiments.harness import ExperimentHarness
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--target", default="search", help="service to inject contention into")
+    parser.add_argument("--intensity", type=float, default=0.95, help="anomaly intensity in [0,1]")
+    args = parser.parse_args()
+
+    harness = ExperimentHarness.build(application="hotel_reservation", seed=7)
+    harness.attach_workload(load_rps=50.0)
+    campaign = AnomalyCampaign("localization-study")
+    campaign.add(
+        AnomalySpec(
+            anomaly_type=AnomalyType.CPU_UTILIZATION,
+            target_service=args.target,
+            start_s=10.0,
+            duration_s=40.0,
+            intensity=args.intensity,
+        )
+    )
+    harness.attach_injector(campaign)
+    print(f"Injecting CPU contention into {args.target!r} and collecting traces ...")
+    harness.run(duration_s=55.0)
+
+    traces = harness.coordinator.recent_traces(window_s=45.0)
+    path_extractor = CriticalPathExtractor()
+    paths = path_extractor.extract_all(traces)
+
+    print(f"\ncollected {len(traces)} traces, extracted {len(paths)} critical paths")
+    appearance = Counter()
+    for path in paths:
+        appearance.update(path.services)
+    print("\nservices appearing most often on critical paths:")
+    for service, count in appearance.most_common(8):
+        print(f"  {service:>28}: {count}")
+
+    component_extractor = CriticalComponentExtractor()
+    features = component_extractor.compute_features(paths, traces)
+    features.sort(key=lambda f: (f.relative_importance, f.congestion_intensity), reverse=True)
+    print(f"\n{'instance':>30} {'RI':>6} {'CI':>7}")
+    for feature in features[:10]:
+        print(f"{feature.instance:>30} {feature.relative_importance:>6.2f} {feature.congestion_intensity:>7.2f}")
+
+    candidates = component_extractor.extract(paths, traces)
+    flagged_services = sorted({feature.service for feature in candidates})
+    ground_truth = harness.injector.log[0].spec.target_service
+    print(f"\nSVM candidates: {flagged_services or '(none)'}")
+    print(f"ground truth:   ['{ground_truth}']")
+    if ground_truth in flagged_services:
+        print("=> the injected service was correctly localized.")
+    else:
+        print("=> the injected service was not flagged in this short run; "
+              "co-located neighbours may have absorbed the contention.")
+
+
+if __name__ == "__main__":
+    main()

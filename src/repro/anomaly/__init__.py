@@ -1,0 +1,35 @@
+"""Performance anomaly injection framework.
+
+The paper trains and evaluates FIRM by artificially creating resource
+contention (§3.6): seven anomaly types (workload variation, network delay,
+CPU utilization, LLC bandwidth/capacity, memory bandwidth, I/O bandwidth,
+network bandwidth) with configurable intensity, duration, and timing.  This
+package provides the simulated equivalent: each anomaly consumes part of a
+node's capacity for the affected resources (or inflates offered load /
+network delay) so that co-located containers experience genuine contention.
+"""
+
+from repro.anomaly.anomalies import (
+    ANOMALY_TYPES,
+    AnomalyType,
+    AnomalySpec,
+)
+from repro.anomaly.injector import ActiveAnomaly, PerformanceAnomalyInjector
+from repro.anomaly.campaigns import (
+    AnomalyCampaign,
+    multi_anomaly_campaign,
+    random_campaign,
+    single_anomaly_sweep,
+)
+
+__all__ = [
+    "ANOMALY_TYPES",
+    "AnomalyType",
+    "AnomalySpec",
+    "ActiveAnomaly",
+    "PerformanceAnomalyInjector",
+    "AnomalyCampaign",
+    "single_anomaly_sweep",
+    "multi_anomaly_campaign",
+    "random_campaign",
+]

@@ -1,0 +1,117 @@
+"""Anomaly type definitions.
+
+Each anomaly type models one of the interference generators the paper uses
+(iBench, stress-ng, pmbw, sysbench, tc, trickle, wrk2) as pressure on the
+corresponding simulated resource.  Intensity is expressed in [0, 1]: the
+fraction of the target node's capacity consumed by the interfering
+workload (or, for workload variation and network delay, the relative load
+inflation / added delay).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cluster.resources import Resource, ResourceVector
+
+
+class AnomalyType(str, enum.Enum):
+    """The seven anomaly types of Table 5."""
+
+    WORKLOAD_VARIATION = "workload_variation"
+    NETWORK_DELAY = "network_delay"
+    CPU_UTILIZATION = "cpu_utilization"
+    LLC_CONTENTION = "llc_contention"
+    MEMORY_BANDWIDTH = "memory_bandwidth"
+    IO_BANDWIDTH = "io_bandwidth"
+    NETWORK_BANDWIDTH = "network_bandwidth"
+
+
+#: Canonical ordering used by campaign schedules and figures.
+ANOMALY_TYPES: Tuple[AnomalyType, ...] = (
+    AnomalyType.WORKLOAD_VARIATION,
+    AnomalyType.NETWORK_DELAY,
+    AnomalyType.CPU_UTILIZATION,
+    AnomalyType.LLC_CONTENTION,
+    AnomalyType.MEMORY_BANDWIDTH,
+    AnomalyType.IO_BANDWIDTH,
+    AnomalyType.NETWORK_BANDWIDTH,
+)
+
+#: Which simulated resource each anomaly type pressures (None = no node
+#: resource: workload variation inflates offered load instead).
+ANOMALY_RESOURCE: Dict[AnomalyType, Optional[Resource]] = {
+    AnomalyType.WORKLOAD_VARIATION: None,
+    AnomalyType.NETWORK_DELAY: Resource.NETWORK,
+    AnomalyType.CPU_UTILIZATION: Resource.CPU,
+    AnomalyType.LLC_CONTENTION: Resource.LLC,
+    AnomalyType.MEMORY_BANDWIDTH: Resource.MEMORY_BANDWIDTH,
+    AnomalyType.IO_BANDWIDTH: Resource.DISK_IO,
+    AnomalyType.NETWORK_BANDWIDTH: Resource.NETWORK,
+}
+
+#: Tool names from Table 5 (documentation / report labelling only).
+ANOMALY_TOOLS: Dict[AnomalyType, str] = {
+    AnomalyType.WORKLOAD_VARIATION: "wrk2",
+    AnomalyType.NETWORK_DELAY: "tc",
+    AnomalyType.CPU_UTILIZATION: "iBench/stress-ng",
+    AnomalyType.LLC_CONTENTION: "iBench/pmbw",
+    AnomalyType.MEMORY_BANDWIDTH: "iBench/pmbw",
+    AnomalyType.IO_BANDWIDTH: "sysbench",
+    AnomalyType.NETWORK_BANDWIDTH: "tc/trickle",
+}
+
+
+@dataclass
+class AnomalySpec:
+    """One injection: what, where, when, how hard, and for how long.
+
+    Attributes
+    ----------
+    anomaly_type:
+        Which of the seven anomaly types to inject.
+    target_service:
+        Service whose hosting node receives the interference.  The injector
+        resolves the service's first replica's node at injection time.
+    start_s / duration_s:
+        Injection window in simulation seconds.
+    intensity:
+        In [0, 1]: fraction of node capacity consumed (resource anomalies),
+        relative load inflation (workload variation), or fraction of the
+        maximum modelled delay (network delay).
+    """
+
+    anomaly_type: AnomalyType
+    target_service: str
+    start_s: float
+    duration_s: float
+    intensity: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {self.intensity}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+        if self.start_s < 0:
+            raise ValueError(f"start time must be non-negative, got {self.start_s}")
+        self.anomaly_type = AnomalyType(self.anomaly_type)
+
+    @property
+    def end_s(self) -> float:
+        """End of the injection window."""
+        return self.start_s + self.duration_s
+
+    def pressure_vector(self, node_capacity: ResourceVector) -> ResourceVector:
+        """Absolute resource pressure this anomaly puts on the target node.
+
+        Workload variation contributes no direct node pressure (the injector
+        inflates offered load instead); network delay is modelled as partial
+        network-capacity consumption proportional to the configured delay.
+        """
+        resource = ANOMALY_RESOURCE[self.anomaly_type]
+        if resource is None:
+            return ResourceVector()
+        amount = self.intensity * node_capacity[resource]
+        return ResourceVector({resource: amount})

@@ -1,0 +1,172 @@
+"""Anomaly injection campaigns.
+
+Campaigns bundle many :class:`~repro.anomaly.anomalies.AnomalySpec`
+injections into the schedules used by the evaluation:
+
+* **single-anomaly sweeps** (Fig. 9(a)): for one anomaly type, intensity is
+  swept from the SLO-violation threshold upward against one target service
+  at a time;
+* **multi-anomaly campaigns** (Fig. 9(b)/(c)): time is divided into fixed
+  windows and each window draws an intensity for every anomaly type
+  uniformly at random;
+* **random campaigns** (§4.1 baseline comparison): anomalies arrive with
+  exponentially distributed inter-arrival times (λ = 0.33 /s by default),
+  with type and intensity drawn uniformly at random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.anomaly.anomalies import ANOMALY_TYPES, AnomalySpec, AnomalyType
+from repro.sim.rng import SeededRNG
+
+
+@dataclass
+class AnomalyCampaign:
+    """A named collection of anomaly injections plus their ground truth."""
+
+    name: str
+    specs: List[AnomalySpec] = field(default_factory=list)
+
+    def add(self, spec: AnomalySpec) -> None:
+        self.specs.append(spec)
+
+    def ground_truth(self, time_s: float) -> List[str]:
+        """Services under active injection at ``time_s``."""
+        return sorted(
+            {
+                spec.target_service
+                for spec in self.specs
+                if spec.start_s <= time_s < spec.end_s
+            }
+        )
+
+    def end_time(self) -> float:
+        """Time at which the last injection ends."""
+        return max((spec.end_s for spec in self.specs), default=0.0)
+
+    def intensity_timeline(
+        self, window_s: float
+    ) -> List[Dict[AnomalyType, float]]:
+        """Per-window maximum intensity for each anomaly type (Fig. 9(c))."""
+        end = self.end_time()
+        windows = int(end // window_s) + (1 if end % window_s else 0)
+        timeline: List[Dict[AnomalyType, float]] = []
+        for index in range(windows):
+            start = index * window_s
+            stop = start + window_s
+            snapshot: Dict[AnomalyType, float] = {atype: 0.0 for atype in ANOMALY_TYPES}
+            for spec in self.specs:
+                if spec.start_s < stop and spec.end_s > start:
+                    snapshot[spec.anomaly_type] = max(
+                        snapshot[spec.anomaly_type], spec.intensity
+                    )
+            timeline.append(snapshot)
+        return timeline
+
+
+def single_anomaly_sweep(
+    anomaly_type: AnomalyType,
+    target_service: str,
+    intensities: Sequence[float],
+    step_duration_s: float = 20.0,
+    gap_s: float = 10.0,
+    start_s: float = 10.0,
+) -> AnomalyCampaign:
+    """Sweep one anomaly type's intensity against one service (Fig. 9(a)).
+
+    Each intensity level is injected for ``step_duration_s`` seconds with a
+    recovery gap of ``gap_s`` seconds between levels.
+    """
+    campaign = AnomalyCampaign(name=f"sweep:{anomaly_type.value}:{target_service}")
+    time = start_s
+    for intensity in intensities:
+        campaign.add(
+            AnomalySpec(
+                anomaly_type=anomaly_type,
+                target_service=target_service,
+                start_s=time,
+                duration_s=step_duration_s,
+                intensity=float(intensity),
+            )
+        )
+        time += step_duration_s + gap_s
+    return campaign
+
+
+def multi_anomaly_campaign(
+    target_services: Sequence[str],
+    rng: SeededRNG,
+    windows: int = 12,
+    window_s: float = 10.0,
+    anomaly_types: Sequence[AnomalyType] = ANOMALY_TYPES,
+    start_s: float = 5.0,
+) -> AnomalyCampaign:
+    """Multi-anomaly campaign in fixed windows (Fig. 9(b)/(c)).
+
+    In each window every anomaly type draws an intensity uniformly at random
+    in [0, 1] and a target service uniformly at random; intensities below
+    0.05 are skipped (effectively "off" for that window).
+    """
+    campaign = AnomalyCampaign(name="multi-anomaly")
+    stream = rng.stream("campaign:multi")
+    for window_index in range(windows):
+        window_start = start_s + window_index * window_s
+        for anomaly_type in anomaly_types:
+            intensity = float(stream.uniform(0.0, 1.0))
+            if intensity < 0.05:
+                continue
+            target = target_services[int(stream.integers(0, len(target_services)))]
+            campaign.add(
+                AnomalySpec(
+                    anomaly_type=anomaly_type,
+                    target_service=target,
+                    start_s=window_start,
+                    duration_s=window_s,
+                    intensity=intensity,
+                )
+            )
+    return campaign
+
+
+def random_campaign(
+    target_services: Sequence[str],
+    rng: SeededRNG,
+    duration_s: float,
+    rate_per_s: float = 0.33,
+    min_duration_s: float = 5.0,
+    max_duration_s: float = 20.0,
+    anomaly_types: Sequence[AnomalyType] = ANOMALY_TYPES,
+    min_intensity: float = 0.3,
+    start_s: float = 5.0,
+) -> AnomalyCampaign:
+    """Random anomaly arrivals (the §4.1 injection baseline).
+
+    Anomaly inter-arrival times are exponential with rate ``rate_per_s``
+    (λ = 0.33 /s in the paper); type, target, duration, and intensity are
+    drawn uniformly at random.
+    """
+    campaign = AnomalyCampaign(name="random")
+    stream = rng.stream("campaign:random")
+    time = start_s
+    while time < duration_s:
+        gap = float(stream.exponential(1.0 / rate_per_s))
+        time += gap
+        if time >= duration_s:
+            break
+        anomaly_type = anomaly_types[int(stream.integers(0, len(anomaly_types)))]
+        target = target_services[int(stream.integers(0, len(target_services)))]
+        duration = float(stream.uniform(min_duration_s, max_duration_s))
+        intensity = float(stream.uniform(min_intensity, 1.0))
+        campaign.add(
+            AnomalySpec(
+                anomaly_type=anomaly_type,
+                target_service=target,
+                start_s=time,
+                duration_s=duration,
+                intensity=intensity,
+            )
+        )
+    return campaign

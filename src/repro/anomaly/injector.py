@@ -1,0 +1,184 @@
+"""Performance anomaly injector.
+
+Schedules :class:`~repro.anomaly.anomalies.AnomalySpec` injections against
+the simulated cluster.  Resource anomalies add pressure to the node hosting
+the target service for the injection window; workload-variation anomalies
+temporarily multiply the workload generator's offered rate; network-delay
+anomalies add latency to the target service's spans by inflating its node's
+network pressure.
+
+The injector keeps a full audit log so experiments can use it as ground
+truth for localization accuracy (Fig. 9) and for RL training labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.anomaly.anomalies import ANOMALY_RESOURCE, AnomalySpec, AnomalyType
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.resources import ResourceVector
+from repro.sim.engine import SimulationEngine
+from repro.workload.generators import WorkloadGenerator
+from repro.workload.patterns import ArrivalPattern
+
+
+@dataclass
+class ActiveAnomaly:
+    """Bookkeeping for an injected (possibly still active) anomaly."""
+
+    spec: AnomalySpec
+    node: Optional[Node]
+    pressure: ResourceVector
+    injected_at: float
+    removed_at: Optional[float] = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.removed_at is None
+
+
+class _InflatedPattern(ArrivalPattern):
+    """Wraps an arrival pattern, multiplying the rate during active windows."""
+
+    def __init__(self, inner: ArrivalPattern) -> None:
+        self.inner = inner
+        #: (start, end, multiplier) windows currently registered.
+        self.windows: List[List[float]] = []
+
+    def add_window(self, start: float, end: float, multiplier: float) -> None:
+        self.windows.append([start, end, multiplier])
+
+    def rate_at(self, time_s: float) -> float:
+        rate = self.inner.rate_at(time_s)
+        for start, end, multiplier in self.windows:
+            if start <= time_s < end:
+                rate *= multiplier
+        return rate
+
+
+class PerformanceAnomalyInjector:
+    """Injects performance anomalies into the simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Target cluster.
+    engine:
+        Shared simulation engine.
+    workload:
+        Optional workload generator; required only for
+        :data:`AnomalyType.WORKLOAD_VARIATION` injections.
+    """
+
+    #: Load multiplier at intensity 1.0 for workload-variation anomalies.
+    MAX_LOAD_MULTIPLIER = 4.0
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        engine: SimulationEngine,
+        workload: Optional[WorkloadGenerator] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.workload = workload
+        self.log: List[ActiveAnomaly] = []
+        if workload is not None and not isinstance(workload.pattern, _InflatedPattern):
+            workload.pattern = _InflatedPattern(workload.pattern)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, spec: AnomalySpec) -> ActiveAnomaly:
+        """Schedule one injection; returns its bookkeeping record."""
+        record = ActiveAnomaly(
+            spec=spec,
+            node=None,
+            pressure=ResourceVector(),
+            injected_at=spec.start_s,
+        )
+        self.log.append(record)
+        if spec.start_s <= self.engine.now:
+            self._begin(record)
+        else:
+            self.engine.schedule(
+                spec.start_s, lambda eng: self._begin(record), name=f"anomaly-start:{spec.anomaly_type.value}"
+            )
+        return record
+
+    def schedule_all(self, specs: List[AnomalySpec]) -> List[ActiveAnomaly]:
+        """Schedule a batch of injections."""
+        return [self.schedule(spec) for spec in specs]
+
+    # ------------------------------------------------------------- lifecycle
+    def _begin(self, record: ActiveAnomaly) -> None:
+        spec = record.spec
+        if spec.anomaly_type is AnomalyType.WORKLOAD_VARIATION:
+            self._begin_workload_variation(record)
+        else:
+            self._begin_resource_pressure(record)
+        self.engine.schedule_after(
+            spec.duration_s, lambda eng: self._end(record), name=f"anomaly-end:{spec.anomaly_type.value}"
+        )
+
+    def _begin_resource_pressure(self, record: ActiveAnomaly) -> None:
+        spec = record.spec
+        node = self._resolve_node(spec.target_service)
+        if node is None:
+            record.removed_at = self.engine.now
+            return
+        pressure = spec.pressure_vector(node.capacity)
+        node.inject_pressure(pressure)
+        record.node = node
+        record.pressure = pressure
+
+    def _begin_workload_variation(self, record: ActiveAnomaly) -> None:
+        spec = record.spec
+        if self.workload is None:
+            record.removed_at = self.engine.now
+            return
+        pattern = self.workload.pattern
+        if not isinstance(pattern, _InflatedPattern):
+            pattern = _InflatedPattern(pattern)
+            self.workload.pattern = pattern
+        multiplier = 1.0 + spec.intensity * (self.MAX_LOAD_MULTIPLIER - 1.0)
+        pattern.add_window(self.engine.now, self.engine.now + spec.duration_s, multiplier)
+
+    def _end(self, record: ActiveAnomaly) -> None:
+        if record.removed_at is not None:
+            return
+        if record.node is not None:
+            record.node.remove_pressure(record.pressure)
+        record.removed_at = self.engine.now
+
+    def _resolve_node(self, service_name: str) -> Optional[Node]:
+        replicas = self.cluster.replicas_of(service_name)
+        if not replicas:
+            return None
+        return replicas[0].container.node
+
+    # ---------------------------------------------------------------- queries
+    def active_anomalies(self) -> List[ActiveAnomaly]:
+        """Anomalies currently applying pressure."""
+        return [record for record in self.log if record.is_active and record.injected_at <= self.engine.now]
+
+    def ground_truth_services(self, at_time: Optional[float] = None) -> List[str]:
+        """Services targeted by anomalies active at ``at_time`` (default: now).
+
+        Used as ground truth when scoring localization accuracy.
+        """
+        time = self.engine.now if at_time is None else at_time
+        services: List[str] = []
+        for record in self.log:
+            spec = record.spec
+            if spec.start_s <= time < spec.end_s and spec.target_service not in services:
+                services.append(spec.target_service)
+        return services
+
+    def clear(self) -> None:
+        """Remove all active pressure immediately (end of an experiment)."""
+        for record in self.log:
+            if record.is_active and record.node is not None:
+                record.node.remove_pressure(record.pressure)
+                record.removed_at = self.engine.now

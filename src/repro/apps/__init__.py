@@ -1,0 +1,38 @@
+"""Benchmark microservice applications.
+
+The paper evaluates FIRM on four applications: Social Network, Media
+Service, and Hotel Reservation from DeathStarBench, plus the Train-Ticket
+booking service.  We reproduce each one as a service dependency graph with
+per-service performance profiles and request types that exercise
+sequential, parallel, and background workflows (paper §2 / §3.2).
+"""
+
+from repro.apps.graph import (
+    CallEdge,
+    CallPattern,
+    RequestType,
+    ServiceGraph,
+    ServiceNode,
+)
+from repro.apps.catalog import (
+    APPLICATIONS,
+    build_application,
+    hotel_reservation,
+    media_service,
+    social_network,
+    train_ticket,
+)
+
+__all__ = [
+    "CallEdge",
+    "CallPattern",
+    "RequestType",
+    "ServiceGraph",
+    "ServiceNode",
+    "APPLICATIONS",
+    "build_application",
+    "social_network",
+    "media_service",
+    "hotel_reservation",
+    "train_ticket",
+]

@@ -1,0 +1,271 @@
+"""Application runtime: executes requests against the simulated cluster.
+
+The runtime is the glue between the application model (:mod:`repro.apps`),
+the cluster substrate (:mod:`repro.cluster`), and the tracing substrate
+(:mod:`repro.tracing`).  Given a :class:`~repro.apps.graph.ServiceGraph`
+it deploys every service onto the cluster and then, for each arriving user
+request, walks the request type's call plan:
+
+* **sequential** children run one after another,
+* **parallel** children are dispatched together and joined,
+* **background** children are dispatched fire-and-forget (they complete and
+  are traced, but the parent does not wait for them).
+
+Every span is reported to the Tracing Coordinator as it completes, so the
+execution history graph is available to FIRM's Extractor in near-real time,
+exactly as in the paper's architecture (Fig. 6, modules 1-3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.apps.graph import CallEdge, CallPattern, RequestType, ServiceGraph
+from repro.cluster.cluster import Cluster
+from repro.cluster.instance import MicroserviceInstance
+from repro.cluster.resources import ResourceLimits
+from repro.sim.engine import SimulationEngine
+from repro.tracing.coordinator import TracingCoordinator
+from repro.tracing.span import Span, SpanKind
+from repro.tracing.trace import Trace
+
+_request_ids = itertools.count(1)
+
+
+class ApplicationRuntime:
+    """Deploys an application and executes user requests on the cluster.
+
+    Parameters
+    ----------
+    app:
+        The application's service graph.
+    cluster:
+        The simulated cluster to deploy onto.
+    coordinator:
+        Tracing coordinator receiving spans and completions.
+    engine:
+        Shared simulation engine.
+    default_limits:
+        Optional resource limits applied to every deployed container
+        (defaults to the overprovisioned container defaults).
+    """
+
+    def __init__(
+        self,
+        app: ServiceGraph,
+        cluster: Cluster,
+        coordinator: TracingCoordinator,
+        engine: SimulationEngine,
+        default_limits: Optional[ResourceLimits] = None,
+    ) -> None:
+        self.app = app
+        self.cluster = cluster
+        self.coordinator = coordinator
+        self.engine = engine
+        self.default_limits = default_limits
+        self.completed_requests = 0
+        self.dropped_requests = 0
+        self._deployed = False
+
+    # -------------------------------------------------------------- deploy
+    def deploy(self) -> None:
+        """Deploy every service in the graph and register request-type SLOs."""
+        if self._deployed:
+            return
+        for node in self.app.services.values():
+            limits = (
+                ResourceLimits(dict(self.default_limits.values))
+                if self.default_limits is not None
+                else None
+            )
+            self.cluster.deploy_service(
+                node.profile, replicas=node.initial_replicas, limits=limits
+            )
+        for request_type in self.app.request_types.values():
+            self.coordinator.register_slo(request_type.name, request_type.slo_latency_ms)
+        self._deployed = True
+
+    # -------------------------------------------------------------- execute
+    def submit_request(
+        self,
+        request_type_name: str,
+        on_complete: Optional[Callable[[Trace], None]] = None,
+    ) -> Trace:
+        """Submit one user request of the given type.
+
+        Returns the trace immediately; spans are appended as the request
+        progresses through the simulation, and ``on_complete`` (if given) is
+        invoked with the finished trace when the response is sent.
+        """
+        if not self._deployed:
+            raise RuntimeError("application must be deployed before submitting requests")
+        request_type = self.app.request_types[request_type_name]
+        request_id = f"{self.app.name}-{request_type_name}-{next(_request_ids)}"
+        trace = self.coordinator.begin_trace(request_id, request_type_name, self.engine.now)
+        self._execute_entry(trace, request_type, on_complete)
+        return trace
+
+    # ------------------------------------------------------------ internals
+    def _execute_entry(
+        self,
+        trace: Trace,
+        request_type: RequestType,
+        on_complete: Optional[Callable[[Trace], None]],
+    ) -> None:
+        entry_instance = self.cluster.pick_replica(request_type.entry_service)
+        enqueue_time = self.engine.now
+
+        def _entry_done(entry_span: Span) -> None:
+            trace.mark_complete(self.engine.now)
+            self.completed_requests += 1
+            if on_complete is not None:
+                on_complete(trace)
+
+        def _entry_finished(eq: float, st: float, ft: float) -> None:
+            # The entry span's own compute is done; now run its call plan,
+            # then close the span when all foreground children complete.
+            entry_span = Span(
+                request_id=trace.request_id,
+                service=request_type.entry_service,
+                instance=entry_instance.name,
+                kind=SpanKind.ROOT,
+                parent_id=None,
+                enqueue_time=eq,
+                start_time=st,
+            )
+
+            def _children_done() -> None:
+                entry_span.end_time = self.engine.now
+                self.coordinator.record_span(trace, entry_span)
+                _entry_done(entry_span)
+
+            self._execute_children(trace, entry_span, request_type.call_plan, _children_done)
+
+        accepted = entry_instance.submit(
+            trace.request_id, request_type.entry_service, _entry_finished
+        )
+        if not accepted:
+            self.coordinator.drop_trace(trace)
+            self.dropped_requests += 1
+
+    def _execute_children(
+        self,
+        trace: Trace,
+        parent_span: Span,
+        calls: Sequence[CallEdge],
+        done: Callable[[], None],
+    ) -> None:
+        """Execute a list of sibling calls honouring their workflow patterns.
+
+        Parallel siblings are grouped into consecutive runs and dispatched
+        together; sequential siblings wait for all previously dispatched
+        foreground work; background siblings are dispatched immediately and
+        never waited on.
+        """
+        foreground = [c for c in calls if c.pattern is not CallPattern.BACKGROUND]
+        background = [c for c in calls if c.pattern is CallPattern.BACKGROUND]
+
+        # Background calls: fire-and-forget.
+        for call in background:
+            self._execute_call(trace, parent_span, call, on_done=None)
+
+        if not foreground:
+            done()
+            return
+
+        # Group foreground calls into stages: consecutive PARALLEL calls form
+        # one stage dispatched concurrently; a SEQUENTIAL call is its own stage.
+        stages: List[List[CallEdge]] = []
+        for call in foreground:
+            if (
+                call.pattern is CallPattern.PARALLEL
+                and stages
+                and stages[-1][0].pattern is CallPattern.PARALLEL
+            ):
+                stages[-1].append(call)
+            else:
+                stages.append([call])
+
+        def _run_stage(index: int) -> None:
+            if index >= len(stages):
+                done()
+                return
+            stage = stages[index]
+            remaining = len(stage)
+
+            def _one_done() -> None:
+                nonlocal remaining
+                remaining -= 1
+                if remaining == 0:
+                    _run_stage(index + 1)
+
+            for call in stage:
+                self._execute_call(trace, parent_span, call, on_done=_one_done)
+
+        _run_stage(0)
+
+    def _execute_call(
+        self,
+        trace: Trace,
+        parent_span: Span,
+        call: CallEdge,
+        on_done: Optional[Callable[[], None]],
+    ) -> None:
+        """Execute one RPC: run the callee's compute, then its own children."""
+        try:
+            instance = self.cluster.pick_replica(call.callee)
+        except KeyError:
+            # Service not deployed (should not happen for validated graphs);
+            # treat the call as instantly failed so the request can proceed.
+            if on_done is not None:
+                on_done()
+            return
+
+        kind = {
+            CallPattern.SEQUENTIAL: SpanKind.SEQUENTIAL,
+            CallPattern.PARALLEL: SpanKind.PARALLEL,
+            CallPattern.BACKGROUND: SpanKind.BACKGROUND,
+        }[call.pattern]
+
+        def _compute_finished(eq: float, st: float, ft: float) -> None:
+            span = Span(
+                request_id=trace.request_id,
+                service=call.callee,
+                instance=instance.name,
+                kind=kind,
+                parent_id=parent_span.span_id,
+                enqueue_time=eq,
+                start_time=st,
+            )
+
+            def _children_done() -> None:
+                span.end_time = self.engine.now
+                self.coordinator.record_span(trace, span)
+                if on_done is not None:
+                    on_done()
+
+            self._execute_children(trace, span, call.children, _children_done)
+
+        accepted = instance.submit(trace.request_id, call.callee, _compute_finished)
+        if not accepted:
+            # The downstream queue is saturated; record a dropped span and
+            # unblock the caller so the request either completes degraded or
+            # is counted as dropped by the caller's SLO accounting.
+            span = Span(
+                request_id=trace.request_id,
+                service=call.callee,
+                instance=instance.name,
+                kind=kind,
+                parent_id=parent_span.span_id,
+                enqueue_time=self.engine.now,
+                start_time=self.engine.now,
+                end_time=self.engine.now,
+                dropped=True,
+            )
+            self.coordinator.record_span(trace, span)
+            if not trace.dropped:
+                trace.mark_dropped()
+                self.dropped_requests += 1
+            if on_done is not None:
+                on_done()

@@ -1,0 +1,22 @@
+"""Baseline autoscalers compared against FIRM in the evaluation.
+
+Two rule-based baselines from the paper (§4.1):
+
+* :class:`~repro.baselines.kubernetes_hpa.KubernetesAutoscaler` -- the
+  Kubernetes horizontal/vertical autoscaling heuristic driven only by CPU
+  utilization.
+* :class:`~repro.baselines.aimd.AIMDController` -- additive-increase /
+  multiplicative-decrease control of per-container resource limits.
+"""
+
+from repro.baselines.base import BaselineController
+from repro.baselines.kubernetes_hpa import KubernetesAutoscaler, HPAConfig
+from repro.baselines.aimd import AIMDController, AIMDConfig
+
+__all__ = [
+    "BaselineController",
+    "KubernetesAutoscaler",
+    "HPAConfig",
+    "AIMDController",
+    "AIMDConfig",
+]

@@ -1,0 +1,61 @@
+"""Shared scaffolding for baseline resource controllers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.orchestrator import Orchestrator
+from repro.sim.engine import SimulationEngine
+from repro.tracing.coordinator import TracingCoordinator
+
+
+class BaselineController:
+    """Base class: a periodic control loop over the cluster.
+
+    Subclasses implement :meth:`control_round`; the base class handles
+    scheduling on the simulation engine, start/stop, and round counting so
+    that baselines and FIRM can be swapped interchangeably in experiments.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        coordinator: TracingCoordinator,
+        orchestrator: Orchestrator,
+        engine: SimulationEngine,
+        control_interval_s: float = 15.0,
+    ) -> None:
+        self.cluster = cluster
+        self.coordinator = coordinator
+        self.orchestrator = orchestrator
+        self.engine = engine
+        self.control_interval_s = float(control_interval_s)
+        self.rounds_executed = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Start the periodic control loop."""
+        if self._running:
+            return
+        self._running = True
+        self.engine.schedule_recurring(
+            self.control_interval_s,
+            lambda eng: self._round_wrapper(),
+            name=f"{type(self).__name__}-control",
+        )
+
+    def stop(self) -> None:
+        """Stop scheduling further rounds."""
+        self._running = False
+
+    def _round_wrapper(self) -> None:
+        if not self._running:
+            return
+        self.control_round()
+        self.rounds_executed += 1
+
+    def control_round(self) -> None:
+        """One control decision; implemented by subclasses."""
+        raise NotImplementedError

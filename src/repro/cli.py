@@ -1,0 +1,182 @@
+"""Command-line interface for running reproduction experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli run fig1 --out results/fig1.json
+    python -m repro.cli run table6
+    python -m repro.cli compare --application social_network --duration 120
+
+The CLI is a thin wrapper over :mod:`repro.experiments`; every experiment
+is also importable and runnable programmatically (see the examples/
+directory and the benchmarks/ harnesses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Callable, Dict
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Best-effort conversion of experiment results to JSON-friendly data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    if hasattr(value, "as_dict"):
+        return _to_jsonable(value.as_dict())
+    if hasattr(value, "summary") and callable(value.summary):
+        try:
+            return _to_jsonable(value.summary())
+        except TypeError:
+            pass
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _run_fig1(args: argparse.Namespace):
+    from repro.experiments.fig1_motivation import run_fig1
+
+    return run_fig1(duration_s=args.duration, load_rps=args.load)
+
+
+def _run_fig3(args: argparse.Namespace):
+    from repro.experiments.fig3_cp_distributions import run_fig3
+
+    return run_fig3(duration_s=args.duration, load_rps=args.load)
+
+
+def _run_table1(args: argparse.Namespace):
+    from repro.experiments.table1_cp_changes import run_table1
+
+    return run_table1(duration_s=min(args.duration, 60.0), load_rps=args.load)
+
+
+def _run_fig4(args: argparse.Namespace):
+    from repro.experiments.fig4_variance_scaling import run_fig4
+
+    return run_fig4(duration_s=min(args.duration, 60.0), load_rps=args.load)
+
+
+def _run_fig5(args: argparse.Namespace):
+    from repro.experiments.fig5_scale_tradeoff import run_fig5
+
+    return run_fig5(duration_s=min(args.duration, 45.0))
+
+
+def _run_fig9(args: argparse.Namespace):
+    from repro.experiments.fig9_localization import run_fig9b
+
+    return run_fig9b(applications=("social_network",), windows=6, load_rps=args.load)
+
+
+def _run_fig10(args: argparse.Namespace):
+    from repro.experiments.fig10_end_to_end import run_fig10
+
+    return run_fig10(
+        application=args.application, duration_s=args.duration, load_rps=args.load
+    )
+
+
+def _run_fig11(args: argparse.Namespace):
+    from repro.experiments.fig11_rl_training import run_fig11b
+
+    return run_fig11b(episodes=4)
+
+
+def _run_table6(args: argparse.Namespace):
+    from repro.experiments.table6_operation_latency import run_table6, table6_rows
+
+    return table6_rows(run_table6())
+
+
+def _run_summary(args: argparse.Namespace):
+    from repro.experiments.summary import run_summary
+
+    return run_summary(quick=True)
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
+    "fig1": _run_fig1,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "table1": _run_table1,
+    "table6": _run_table6,
+    "summary": _run_summary,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run_parser.add_argument("--duration", type=float, default=90.0, help="scenario duration (simulated s)")
+    run_parser.add_argument("--load", type=float, default=50.0, help="offered load (req/s)")
+    run_parser.add_argument("--application", default="social_network", help="benchmark application")
+    run_parser.add_argument("--out", default=None, help="write the JSON result to this path")
+
+    compare_parser = subparsers.add_parser(
+        "compare", help="compare FIRM against the baselines on one application"
+    )
+    compare_parser.add_argument("--application", default="social_network")
+    compare_parser.add_argument("--duration", type=float, default=120.0)
+    compare_parser.add_argument("--load", type=float, default=60.0)
+    compare_parser.add_argument("--out", default=None)
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    if args.command == "compare":
+        from repro.experiments.fig10_end_to_end import run_fig10
+
+        result = run_fig10(
+            application=args.application,
+            duration_s=args.duration,
+            load_rps=args.load,
+            include_multi_rl=False,
+        )
+        payload = {name: res.summary() for name, res in result.results.items()}
+    else:
+        runner = EXPERIMENTS[args.experiment]
+        payload = _to_jsonable(runner(args))
+
+    text = json.dumps(_to_jsonable(payload), indent=2, default=str)
+    if getattr(args, "out", None):
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

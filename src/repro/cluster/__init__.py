@@ -1,0 +1,44 @@
+"""Simulated Kubernetes-like cluster substrate.
+
+The paper runs FIRM against a 15-node Kubernetes cluster; this package
+provides the equivalent substrate: nodes with finite fine-grained resources
+(CPU, memory bandwidth, LLC capacity, disk I/O bandwidth, network
+bandwidth), containers with per-resource limits, microservice instances
+with request queues whose service times degrade under contention, and an
+orchestrator exposing the scale-up / scale-out / partition operations (with
+the actuation latencies of Table 6) that FIRM's deployment module drives.
+"""
+
+from repro.cluster.resources import (
+    RESOURCE_TYPES,
+    Resource,
+    ResourceLimits,
+    ResourceUsage,
+    ResourceVector,
+)
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.container import Container
+from repro.cluster.instance import MicroserviceInstance
+from repro.cluster.cluster import Cluster
+from repro.cluster.orchestrator import Orchestrator, ScaleAction
+from repro.cluster.actuation import ACTUATION_LATENCY, ActuationModel
+from repro.cluster.telemetry import TelemetrySample, TelemetryCollector
+
+__all__ = [
+    "RESOURCE_TYPES",
+    "Resource",
+    "ResourceLimits",
+    "ResourceUsage",
+    "ResourceVector",
+    "Node",
+    "NodeSpec",
+    "Container",
+    "MicroserviceInstance",
+    "Cluster",
+    "Orchestrator",
+    "ScaleAction",
+    "ACTUATION_LATENCY",
+    "ActuationModel",
+    "TelemetrySample",
+    "TelemetryCollector",
+]

@@ -1,0 +1,75 @@
+"""Actuation latency model for resource-management operations.
+
+Table 6 of the paper reports the mean and standard deviation of the time
+taken to (a) re-partition each resource type (scale up/down) and (b) start
+a container (warm vs. cold).  These latencies lower-bound how fast any
+mitigation can take effect, so the simulator charges them before an action
+becomes visible to the instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.resources import Resource
+from repro.sim.rng import SeededRNG
+
+
+@dataclass(frozen=True)
+class OperationLatency:
+    """Mean and standard deviation (milliseconds) of one actuation operation."""
+
+    mean_ms: float
+    std_ms: float
+
+
+#: Table 6 of the paper: latency of resource-management operations.
+ACTUATION_LATENCY: Dict[str, OperationLatency] = {
+    "partition_cpu": OperationLatency(mean_ms=2.1, std_ms=0.3),
+    "partition_memory_bandwidth": OperationLatency(mean_ms=42.4, std_ms=11.0),
+    "partition_llc": OperationLatency(mean_ms=39.8, std_ms=9.2),
+    "partition_disk_io": OperationLatency(mean_ms=2.3, std_ms=0.4),
+    "partition_network": OperationLatency(mean_ms=12.3, std_ms=1.1),
+    "container_start_warm": OperationLatency(mean_ms=45.7, std_ms=6.9),
+    "container_start_cold": OperationLatency(mean_ms=2050.8, std_ms=291.4),
+}
+
+#: Mapping from resource type to the partition-operation key above.
+PARTITION_OPERATION = {
+    Resource.CPU: "partition_cpu",
+    Resource.MEMORY_BANDWIDTH: "partition_memory_bandwidth",
+    Resource.LLC: "partition_llc",
+    Resource.DISK_IO: "partition_disk_io",
+    Resource.NETWORK: "partition_network",
+}
+
+
+class ActuationModel:
+    """Samples actuation latencies for deployment-module operations."""
+
+    def __init__(self, rng: SeededRNG) -> None:
+        self._rng = rng
+
+    def sample_ms(self, operation: str) -> float:
+        """Sample the latency (ms) of one named operation.
+
+        Samples are drawn from a normal distribution truncated at 10% of the
+        mean so that an unlucky draw never becomes negative or absurdly
+        small.
+        """
+        if operation not in ACTUATION_LATENCY:
+            raise KeyError(f"unknown actuation operation {operation!r}")
+        spec = ACTUATION_LATENCY[operation]
+        stream = self._rng.stream(f"actuation:{operation}")
+        sample = float(stream.normal(spec.mean_ms, spec.std_ms))
+        return max(0.1 * spec.mean_ms, sample)
+
+    def partition_latency_ms(self, resource: Resource) -> float:
+        """Latency of re-partitioning one resource type."""
+        return self.sample_ms(PARTITION_OPERATION[Resource(resource)])
+
+    def container_start_latency_ms(self, warm: bool = True) -> float:
+        """Latency of starting a container (warm image cache vs. cold pull)."""
+        operation = "container_start_warm" if warm else "container_start_cold"
+        return self.sample_ms(operation)

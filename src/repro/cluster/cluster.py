@@ -1,0 +1,183 @@
+"""Cluster: the collection of nodes, containers, and microservice replica sets.
+
+The cluster is the substrate equivalent of the paper's 15-node Kubernetes
+deployment.  It owns node placement, tracks the replica sets of every
+deployed microservice, and offers the aggregate queries the orchestrator,
+telemetry collector, and experiment harness rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.cluster.container import Container
+from repro.cluster.instance import MicroserviceInstance, ServiceProfile
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.resources import Resource, ResourceLimits, ResourceVector
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+
+
+class Cluster:
+    """A set of nodes hosting microservice replica sets.
+
+    Parameters
+    ----------
+    engine:
+        Shared simulation engine.
+    rng:
+        Seeded RNG family for service-time draws and placement tie-breaking.
+    node_specs:
+        Hardware description of each node.  Defaults to a 15-node cluster
+        matching the paper's scale (9 x86 nodes + 6 ppc64 nodes).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        rng: SeededRNG,
+        node_specs: Optional[List[NodeSpec]] = None,
+        scheduler: Optional["Scheduler"] = None,  # noqa: F821 - forward reference
+    ) -> None:
+        self.engine = engine
+        self.rng = rng
+        if node_specs is None:
+            node_specs = self.default_node_specs()
+        self.nodes: List[Node] = [Node(spec) for spec in node_specs]
+        self._replicas: Dict[str, List[MicroserviceInstance]] = defaultdict(list)
+        self._profiles: Dict[str, ServiceProfile] = {}
+        if scheduler is None:
+            from repro.cluster.scheduler import Scheduler
+
+            scheduler = Scheduler(rng=rng)
+        self.scheduler = scheduler
+
+    # ------------------------------------------------------------- topology
+    @staticmethod
+    def default_node_specs(x86_nodes: int = 9, ppc64_nodes: int = 6) -> List[NodeSpec]:
+        """Node specs mirroring the paper's mixed x86 / ppc64 testbed."""
+        specs: List[NodeSpec] = []
+        for index in range(x86_nodes):
+            specs.append(NodeSpec(name=f"x86-{index}", architecture="x86"))
+        for index in range(ppc64_nodes):
+            specs.append(NodeSpec(name=f"ppc64-{index}", architecture="ppc64"))
+        return specs
+
+    def node_by_name(self, name: str) -> Node:
+        """Look up a node by name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    def all_containers(self) -> List[Container]:
+        """Every container currently placed on any node."""
+        containers: List[Container] = []
+        for node in self.nodes:
+            containers.extend(node.containers)
+        return containers
+
+    # ------------------------------------------------------------ deployment
+    def deploy_service(
+        self,
+        profile: ServiceProfile,
+        replicas: int = 1,
+        limits: Optional[ResourceLimits] = None,
+        node: Optional[Node] = None,
+    ) -> List[MicroserviceInstance]:
+        """Deploy ``replicas`` instances of a microservice.
+
+        Placement uses a least-allocated heuristic (the Kubernetes default
+        scheduler's spreading behaviour) unless a node is pinned explicitly.
+        """
+        self._profiles[profile.name] = profile
+        instances: List[MicroserviceInstance] = []
+        for _ in range(replicas):
+            instances.append(self._deploy_one(profile, limits, node))
+        return instances
+
+    def _deploy_one(
+        self,
+        profile: ServiceProfile,
+        limits: Optional[ResourceLimits],
+        node: Optional[Node],
+    ) -> MicroserviceInstance:
+        target = (
+            node
+            if node is not None
+            else self.scheduler.place(self.nodes, limits, service_name=profile.name)
+        )
+        container = Container(profile.name, limits=limits, threads=profile.threads)
+        target.add_container(container)
+        replica_index = len(self._replicas[profile.name])
+        instance = MicroserviceInstance(
+            profile, container, self.engine, self.rng, replica_index=replica_index
+        )
+        self._replicas[profile.name].append(instance)
+        return instance
+
+    def _pick_node(self, limits: Optional[ResourceLimits]) -> Node:
+        """Delegate placement to the configured scheduler (kept for API compatibility)."""
+        return self.scheduler.place(self.nodes, limits)
+
+    def remove_instance(self, instance: MicroserviceInstance) -> None:
+        """Scale down: remove one replica and free its container."""
+        replicas = self._replicas.get(instance.profile.name, [])
+        if instance in replicas:
+            replicas.remove(instance)
+        node = instance.container.node
+        if node is not None:
+            node.remove_container(instance.container)
+
+    # --------------------------------------------------------------- queries
+    def services(self) -> List[str]:
+        """Names of all deployed microservices."""
+        return sorted(name for name, replicas in self._replicas.items() if replicas)
+
+    def replicas_of(self, service_name: str) -> List[MicroserviceInstance]:
+        """All replicas of a service (empty list if not deployed)."""
+        return list(self._replicas.get(service_name, []))
+
+    def profile_of(self, service_name: str) -> ServiceProfile:
+        """The registered profile of a deployed service."""
+        return self._profiles[service_name]
+
+    def instance_by_name(self, instance_name: str) -> MicroserviceInstance:
+        """Look up an instance by its ``service#replica`` name."""
+        service = instance_name.split("#", 1)[0]
+        for instance in self._replicas.get(service, []):
+            if instance.name == instance_name:
+                return instance
+        raise KeyError(f"no instance named {instance_name!r}")
+
+    def pick_replica(self, service_name: str) -> MicroserviceInstance:
+        """Load-balance: choose the replica with the fewest in-flight spans."""
+        replicas = self._replicas.get(service_name, [])
+        if not replicas:
+            raise KeyError(f"service {service_name!r} is not deployed")
+        return min(replicas, key=lambda instance: instance.in_flight)
+
+    def total_requested_cpu(self) -> float:
+        """Sum of CPU limits across all containers (Fig. 10(b)'s metric)."""
+        return sum(container.limits[Resource.CPU] for container in self.all_containers())
+
+    def total_capacity(self) -> ResourceVector:
+        """Aggregate capacity across all nodes."""
+        total = ResourceVector()
+        for node in self.nodes:
+            total = total + node.capacity
+        return total
+
+    def cluster_cpu_utilization(self) -> float:
+        """Mean CPU utilization across nodes (Fig. 10 discussion metric)."""
+        if not self.nodes:
+            return 0.0
+        values = [node.utilization()[Resource.CPU] for node in self.nodes]
+        return float(sum(values) / len(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster(nodes={len(self.nodes)}, services={len(self.services())}, "
+            f"containers={len(self.all_containers())})"
+        )

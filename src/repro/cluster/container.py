@@ -1,0 +1,207 @@
+"""Container model.
+
+A container is the unit of resource control: it has per-resource limits
+(the ``RLT`` vector FIRM's RL agent adjusts) and reports per-resource usage
+(``RU``).  Its instantaneous resource *demand* is driven by the
+microservice instance it hosts (how many requests are in service and what
+each request consumes).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.cluster.resources import (
+    RESOURCE_TYPES,
+    Resource,
+    ResourceLimits,
+    ResourceUsage,
+    ResourceVector,
+    default_container_limits,
+)
+
+_container_ids = itertools.count()
+
+
+class Container:
+    """A cgroups-limited container hosting one microservice instance replica.
+
+    Parameters
+    ----------
+    service_name:
+        Name of the microservice this container belongs to.
+    limits:
+        Initial per-resource limits; defaults to the overprovisioned
+        defaults from :func:`repro.cluster.resources.default_container_limits`.
+    threads:
+        Number of worker threads created by the service.  The paper notes
+        the effective CPU limit is the smaller of the configured limit and
+        ``threads x 100%``; we model the same cap.
+    """
+
+    def __init__(
+        self,
+        service_name: str,
+        limits: Optional[ResourceLimits] = None,
+        threads: int = 8,
+    ) -> None:
+        self.id = f"{service_name}-{next(_container_ids)}"
+        self.service_name = service_name
+        self.limits: ResourceLimits = (
+            ResourceLimits(dict(limits.values)) if limits is not None else default_container_limits()
+        )
+        self.threads = int(threads)
+        self.node = None  # type: Optional["Node"]  # noqa: F821
+        self.instance = None  # type: Optional["MicroserviceInstance"]  # noqa: F821
+        self._started_cold = True
+        #: True once a controller has explicitly partitioned this container's
+        #: resources (cgroups CFS quota, Intel MBA/CAT, blkio, tc/HTB).  Until
+        #: then the container runs best-effort and its limits are only caps.
+        self.partition_enforced = False
+
+    # ------------------------------------------------------------- limits
+    def effective_cpu_limit(self) -> float:
+        """CPU limit capped by the thread count (paper §3.4 footnote)."""
+        return min(self.limits[Resource.CPU], float(self.threads))
+
+    def set_limit(self, resource: Resource, value: float) -> None:
+        """Set one resource limit, clamped to be non-negative."""
+        self.limits[resource] = max(0.0, float(value))
+
+    def set_limits(self, limits: ResourceVector) -> None:
+        """Replace all limits at once."""
+        for resource in RESOURCE_TYPES:
+            self.set_limit(resource, limits[resource])
+
+    # ------------------------------------------------------------- demand
+    def current_demand(self) -> ResourceVector:
+        """Instantaneous demand, bounded by the container's own limits.
+
+        Demand originates from the hosted instance (requests in service and
+        queued work); the cgroups-style limit caps how much of the node each
+        container can actually pull.
+        """
+        if self.instance is None:
+            return ResourceVector()
+        raw = self.instance.resource_demand()
+        capped: Dict[Resource, float] = {}
+        for resource in RESOURCE_TYPES:
+            limit = (
+                self.effective_cpu_limit()
+                if resource is Resource.CPU
+                else self.limits[resource]
+            )
+            capped[resource] = min(raw[resource], limit) if limit > 0 else 0.0
+        return ResourceVector(capped)
+
+    def usage(self) -> ResourceUsage:
+        """Usage sample exported to telemetry (same shape as demand)."""
+        return ResourceUsage(dict(self.current_demand().values))
+
+    def utilization(self) -> ResourceVector:
+        """Usage divided by limit for each resource (RU/RLT in the paper)."""
+        usage = self.current_demand()
+        result: Dict[Resource, float] = {}
+        for resource in RESOURCE_TYPES:
+            limit = (
+                self.effective_cpu_limit()
+                if resource is Resource.CPU
+                else self.limits[resource]
+            )
+            result[resource] = usage[resource] / limit if limit > 0 else 0.0
+        return ResourceVector(result)
+
+    # ---------------------------------------------------------- throttling
+    def _limit_for(self, resource: Resource) -> float:
+        """Effective cap for one resource (CPU is additionally thread-capped)."""
+        if resource is Resource.CPU:
+            return self.effective_cpu_limit()
+        return self.limits[resource]
+
+    def _cap_factors(self) -> Dict[Resource, float]:
+        """Per-resource slowdown from the container's own limits (caps).
+
+        cgroups CFS quota, MBA, blkio, and HTB throttle a container when it
+        wants more of a resource than its limit; the slowdown follows the
+        same queueing-delay curve used for node-level contention.
+        """
+        from repro.cluster.node import Node  # local import avoids a cycle
+
+        factors: Dict[Resource, float] = {}
+        if self.instance is None:
+            return {resource: 1.0 for resource in RESOURCE_TYPES}
+        raw = self.instance.resource_demand()
+        for resource in RESOURCE_TYPES:
+            want = raw[resource]
+            limit = self._limit_for(resource)
+            if want <= 0:
+                factors[resource] = 1.0
+            elif limit <= 0:
+                factors[resource] = Node._queueing_factor(Node.MAX_UTILIZATION)
+            else:
+                factors[resource] = Node._queueing_factor(want / limit)
+        return factors
+
+    def throttle_factor(self) -> float:
+        """Worst-case slowdown caused by the container's own limits.
+
+        Per-resource cap factors are weighted by how much the service
+        actually depends on each resource, and the worst weighted factor is
+        returned.
+        """
+        if self.instance is None:
+            return 1.0
+        profile = self.instance.profile.resource_weights
+        factors = self._cap_factors()
+        worst = 1.0
+        for resource in RESOURCE_TYPES:
+            weight = profile.get(resource, 0.0)
+            worst = max(worst, 1.0 + (factors[resource] - 1.0) * weight)
+        return worst
+
+    def node_contention_factor(self) -> float:
+        """Worst-case slowdown caused by contention on the hosting node.
+
+        Each resource's node-level contention factor (honouring this
+        container's partition enforcement) is weighted by the service's
+        sensitivity to that resource.
+        """
+        if self.node is None or self.instance is None:
+            return 1.0
+        factors = self.node.contention_factors(self)
+        profile = self.instance.profile.resource_weights
+        slowdown = 1.0
+        for resource in RESOURCE_TYPES:
+            weight = profile.get(resource, 0.0)
+            slowdown = max(slowdown, 1.0 + (factors[resource] - 1.0) * weight)
+        return slowdown
+
+    def total_slowdown(self) -> float:
+        """Combined slowdown from limits (caps) and node contention.
+
+        For each resource the binding constraint is whichever is worse —
+        the container's own cap or the node-level contention it is exposed
+        to — so the per-resource factors are combined with ``max`` (not
+        multiplied, which would double-count the same saturated resource)
+        before being weighted by the service's sensitivity.
+        """
+        if self.instance is None:
+            return 1.0
+        cap = self._cap_factors()
+        node_factors = (
+            self.node.contention_factors(self)
+            if self.node is not None
+            else {resource: 1.0 for resource in RESOURCE_TYPES}
+        )
+        profile = self.instance.profile.resource_weights
+        slowdown = 1.0
+        for resource in RESOURCE_TYPES:
+            weight = profile.get(resource, 0.0)
+            factor = max(cap[resource], node_factors[resource])
+            slowdown = max(slowdown, 1.0 + (factor - 1.0) * weight)
+        return slowdown
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        node = self.node.name if self.node is not None else None
+        return f"Container(id={self.id!r}, service={self.service_name!r}, node={node!r})"

@@ -1,0 +1,245 @@
+"""Microservice instance: the request-serving unit.
+
+Each instance is hosted by exactly one container and serves spans (units of
+work belonging to a distributed request) through a bounded-concurrency
+queue.  The effective span processing time combines:
+
+* a base service time drawn from the service's profile,
+* the container's throttle factor (demand above its own limits),
+* the node's contention factor (anomaly pressure and noisy neighbours),
+* queueing delay when more spans are in flight than the instance can
+  process concurrently (concurrency is derived from the CPU quota).
+
+This is the substrate equivalent of "a Docker container running one
+DeathStarBench service": it converts resource starvation into latency,
+which is exactly the signal FIRM detects, localizes, and mitigates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.cluster.container import Container
+from repro.cluster.resources import Resource, ResourceVector
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+
+_span_work_ids = itertools.count()
+
+
+@dataclass
+class ServiceProfile:
+    """Static performance profile of one microservice.
+
+    Attributes
+    ----------
+    name:
+        Microservice name (e.g. ``"composePost"``).
+    base_service_time_ms:
+        Mean uncontended span processing time in milliseconds.
+    service_time_cv:
+        Coefficient of variation of the lognormal service-time distribution.
+    resource_weights:
+        How sensitive the service is to each resource type (0..1); used to
+        translate per-resource contention into slowdown.  For example a
+        memcached-like service has high memory-bandwidth and LLC weights,
+        while an nginx frontend is network- and CPU-weighted.
+    demand_per_request:
+        Resources consumed per in-flight request (absolute units matching
+        node capacities).
+    threads:
+        Worker threads the service creates per container.
+    background:
+        True for services invoked as background workflows (they do not
+        return a value to the parent and are excluded from critical paths).
+    """
+
+    name: str
+    base_service_time_ms: float = 5.0
+    service_time_cv: float = 0.25
+    resource_weights: Dict[Resource, float] = field(
+        default_factory=lambda: {Resource.CPU: 1.0}
+    )
+    demand_per_request: ResourceVector = field(
+        default_factory=lambda: ResourceVector.from_kwargs(cpu=0.5)
+    )
+    threads: int = 8
+    background: bool = False
+
+    def dominant_resource(self) -> Resource:
+        """The resource the service is most sensitive to."""
+        return max(self.resource_weights, key=lambda r: self.resource_weights[r])
+
+
+@dataclass
+class SpanWork:
+    """One span's worth of work queued at an instance."""
+
+    work_id: int
+    request_id: str
+    span_name: str
+    enqueue_time: float
+    base_time_ms: float
+    on_complete: Callable[[float, float, float], None]
+    start_time: Optional[float] = None
+
+
+class MicroserviceInstance:
+    """A single replica of a microservice, bound to one container.
+
+    Parameters
+    ----------
+    profile:
+        The service's static performance profile.
+    container:
+        Hosting container (provides limits, node placement, slowdown).
+    engine:
+        Shared simulation engine.
+    rng:
+        Seeded RNG family; service times draw from the substream
+        ``"service:<name>:<replica>"``.
+    replica_index:
+        Replica ordinal within the service's replica set.
+    """
+
+    def __init__(
+        self,
+        profile: ServiceProfile,
+        container: Container,
+        engine: SimulationEngine,
+        rng: SeededRNG,
+        replica_index: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.container = container
+        self.engine = engine
+        self.rng = rng
+        self.replica_index = replica_index
+        self.name = f"{profile.name}#{replica_index}"
+        container.instance = self
+        container.threads = profile.threads
+
+        self._queue: Deque[SpanWork] = deque()
+        self._in_service: Dict[int, SpanWork] = {}
+        self._completed_spans = 0
+        self._dropped_spans = 0
+        self._busy_time = 0.0
+        self._last_busy_update = engine.now
+        #: Recent span latencies (ms), kept for telemetry / extractor features.
+        self.recent_latencies_ms: List[float] = []
+        #: Maximum queue length before requests are dropped (load shedding).
+        self.max_queue_length = 512
+
+    # --------------------------------------------------------------- metrics
+    @property
+    def completed_spans(self) -> int:
+        return self._completed_spans
+
+    @property
+    def dropped_spans(self) -> int:
+        return self._dropped_spans
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_service) + len(self._queue)
+
+    def concurrency(self) -> int:
+        """Parallel spans the instance can process, from its CPU quota."""
+        cpu = self.container.effective_cpu_limit()
+        return max(1, int(cpu))
+
+    def resource_demand(self) -> ResourceVector:
+        """Instantaneous resource demand driven by in-flight work."""
+        active = len(self._in_service) + min(len(self._queue), self.concurrency())
+        return self.profile.demand_per_request * float(active)
+
+    def utilization(self) -> ResourceVector:
+        """Per-resource utilization of the hosting container."""
+        return self.container.utilization()
+
+    # -------------------------------------------------------------- execution
+    def submit(
+        self,
+        request_id: str,
+        span_name: str,
+        on_complete: Callable[[float, float, float], None],
+        base_time_ms: Optional[float] = None,
+    ) -> bool:
+        """Submit one span of work.
+
+        ``on_complete(enqueue_time, start_time, finish_time)`` is invoked
+        when the span finishes.  Returns False (and drops the span) when the
+        queue is saturated.
+        """
+        if len(self._queue) >= self.max_queue_length:
+            self._dropped_spans += 1
+            return False
+        if base_time_ms is None:
+            base_time_ms = self._draw_service_time_ms()
+        work = SpanWork(
+            work_id=next(_span_work_ids),
+            request_id=request_id,
+            span_name=span_name,
+            enqueue_time=self.engine.now,
+            base_time_ms=base_time_ms,
+            on_complete=on_complete,
+        )
+        self._queue.append(work)
+        self._try_dispatch()
+        return True
+
+    def _draw_service_time_ms(self) -> float:
+        """Lognormal service time with the profile's mean and CV."""
+        mean = self.profile.base_service_time_ms
+        cv = max(1e-6, self.profile.service_time_cv)
+        import math
+
+        sigma2 = math.log(1.0 + cv * cv)
+        mu = math.log(mean) - sigma2 / 2.0
+        stream = self.rng.stream(f"service:{self.name}")
+        return float(stream.lognormal(mu, math.sqrt(sigma2)))
+
+    def _try_dispatch(self) -> None:
+        """Move queued spans into service while concurrency slots are free."""
+        while self._queue and len(self._in_service) < self.concurrency():
+            work = self._queue.popleft()
+            work.start_time = self.engine.now
+            self._in_service[work.work_id] = work
+            slowdown = self.container.total_slowdown()
+            duration_s = (work.base_time_ms * slowdown) / 1000.0
+            self.engine.schedule_after(
+                duration_s,
+                lambda eng, w=work: self._finish(w),
+                name=f"span-finish:{self.name}",
+            )
+
+    def _finish(self, work: SpanWork) -> None:
+        """Complete one span: record latency and notify the caller."""
+        self._in_service.pop(work.work_id, None)
+        self._completed_spans += 1
+        finish_time = self.engine.now
+        latency_ms = (finish_time - work.enqueue_time) * 1000.0
+        self.recent_latencies_ms.append(latency_ms)
+        if len(self.recent_latencies_ms) > 4096:
+            del self.recent_latencies_ms[: len(self.recent_latencies_ms) - 4096]
+        work.on_complete(work.enqueue_time, work.start_time or work.enqueue_time, finish_time)
+        self._try_dispatch()
+
+    def drain_latency_window(self) -> List[float]:
+        """Return and clear the recent span latencies (ms)."""
+        window = list(self.recent_latencies_ms)
+        self.recent_latencies_ms.clear()
+        return window
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroserviceInstance(name={self.name!r}, queue={self.queue_length}, "
+            f"in_service={len(self._in_service)})"
+        )

@@ -1,0 +1,197 @@
+"""Orchestrator: the Kubernetes-API substitute.
+
+FIRM's deployment module (paper §3.5) executes actions through the cluster
+orchestrator: re-partitioning a resource type for a container (cgroups CFS
+quota, Intel MBA/CAT, blkio, tc/HTB) or scaling the number of replicas.
+The :class:`Orchestrator` implements those verbs against the simulated
+cluster and charges the Table-6 actuation latencies before an action takes
+effect, so mitigation time is bounded below exactly as on real hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.actuation import ActuationModel
+from repro.cluster.cluster import Cluster
+from repro.cluster.instance import MicroserviceInstance
+from repro.cluster.resources import Resource, ResourceLimits, ResourceVector
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+
+
+class ScaleAction(str, enum.Enum):
+    """The verbs the deployment module can actuate."""
+
+    PARTITION = "partition"          # change one resource limit of a container
+    SCALE_OUT = "scale_out"          # add a replica
+    SCALE_IN = "scale_in"            # remove a replica
+    SCALE_UP = "scale_up"            # grow all limits of a container
+    SCALE_DOWN = "scale_down"        # shrink all limits of a container
+
+
+@dataclass
+class ActionRecord:
+    """Audit record of one actuated action (used by Table 6 and tests)."""
+
+    time: float
+    action: ScaleAction
+    service: str
+    resource: Optional[Resource]
+    value: Optional[float]
+    latency_ms: float
+    succeeded: bool
+    detail: str = ""
+
+
+class Orchestrator:
+    """Executes resource-management actions with realistic actuation delays."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        engine: SimulationEngine,
+        rng: SeededRNG,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.actuation = ActuationModel(rng)
+        self.history: List[ActionRecord] = []
+        #: Services that have been scaled out at least once keep warm images.
+        self._warm_services: set = set()
+
+    # ----------------------------------------------------------- partitions
+    def set_resource_limit(
+        self,
+        instance: MicroserviceInstance,
+        resource: Resource,
+        value: float,
+    ) -> ActionRecord:
+        """Re-partition one resource for the instance's container.
+
+        The new limit becomes effective after the Table-6 partition latency.
+        The request is validated against the node's capacity: the limit is
+        clamped so a single container can never be granted more than the
+        node physically has.
+        """
+        resource = Resource(resource)
+        node = instance.container.node
+        cap = node.capacity[resource] if node is not None else value
+        clamped = max(0.0, min(float(value), cap))
+        latency_ms = self.actuation.partition_latency_ms(resource)
+
+        def _apply(engine: SimulationEngine) -> None:
+            instance.container.set_limit(resource, clamped)
+            instance.container.partition_enforced = True
+
+        self.engine.schedule_after(latency_ms / 1000.0, _apply, name=f"partition:{resource.value}")
+        record = ActionRecord(
+            time=self.engine.now,
+            action=ScaleAction.PARTITION,
+            service=instance.profile.name,
+            resource=resource,
+            value=clamped,
+            latency_ms=latency_ms,
+            succeeded=True,
+            detail=f"instance={instance.name}",
+        )
+        self.history.append(record)
+        return record
+
+    def set_resource_limits(
+        self, instance: MicroserviceInstance, limits: ResourceVector
+    ) -> List[ActionRecord]:
+        """Re-partition every resource type of one container."""
+        return [
+            self.set_resource_limit(instance, resource, limits[resource])
+            for resource in limits
+        ]
+
+    # -------------------------------------------------------------- scaling
+    def scale_up(
+        self, instance: MicroserviceInstance, factor: float = 2.0
+    ) -> List[ActionRecord]:
+        """Grow all limits of one container by ``factor`` (scale-up)."""
+        new_limits = instance.container.limits * factor
+        records = self.set_resource_limits(instance, new_limits)
+        for record in records:
+            record.action = ScaleAction.SCALE_UP
+        return records
+
+    def scale_down(
+        self, instance: MicroserviceInstance, factor: float = 0.5
+    ) -> List[ActionRecord]:
+        """Shrink all limits of one container by ``factor`` (scale-down)."""
+        new_limits = instance.container.limits * factor
+        records = self.set_resource_limits(instance, new_limits)
+        for record in records:
+            record.action = ScaleAction.SCALE_DOWN
+        return records
+
+    def scale_out(
+        self,
+        service_name: str,
+        limits: Optional[ResourceLimits] = None,
+    ) -> ActionRecord:
+        """Add a replica of ``service_name`` (scale-out).
+
+        Warm starts are used after the first scale-out of a service (the
+        image is cached on the nodes); the very first replica addition pays
+        the cold-start latency.
+        """
+        profile = self.cluster.profile_of(service_name)
+        template = self.cluster.replicas_of(service_name)
+        if limits is None and template:
+            limits = ResourceLimits(dict(template[0].container.limits.values))
+        warm = service_name in self._warm_services
+        latency_ms = self.actuation.container_start_latency_ms(warm=warm)
+        self._warm_services.add(service_name)
+
+        def _apply(engine: SimulationEngine) -> None:
+            self.cluster.deploy_service(profile, replicas=1, limits=limits)
+
+        self.engine.schedule_after(latency_ms / 1000.0, _apply, name=f"scale-out:{service_name}")
+        record = ActionRecord(
+            time=self.engine.now,
+            action=ScaleAction.SCALE_OUT,
+            service=service_name,
+            resource=None,
+            value=None,
+            latency_ms=latency_ms,
+            succeeded=True,
+            detail="warm" if warm else "cold",
+        )
+        self.history.append(record)
+        return record
+
+    def scale_in(self, service_name: str) -> ActionRecord:
+        """Remove one replica of ``service_name`` (never below one replica)."""
+        replicas = self.cluster.replicas_of(service_name)
+        succeeded = len(replicas) > 1
+        latency_ms = 0.0
+        if succeeded:
+            victim = max(replicas, key=lambda instance: instance.replica_index)
+            self.cluster.remove_instance(victim)
+        record = ActionRecord(
+            time=self.engine.now,
+            action=ScaleAction.SCALE_IN,
+            service=service_name,
+            resource=None,
+            value=None,
+            latency_ms=latency_ms,
+            succeeded=succeeded,
+            detail="" if succeeded else "refused: last replica",
+        )
+        self.history.append(record)
+        return record
+
+    # -------------------------------------------------------------- queries
+    def replica_count(self, service_name: str) -> int:
+        """Current number of replicas of a service."""
+        return len(self.cluster.replicas_of(service_name))
+
+    def actions_since(self, time_s: float) -> List[ActionRecord]:
+        """All actions actuated at or after ``time_s``."""
+        return [record for record in self.history if record.time >= time_s]

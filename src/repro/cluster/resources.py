@@ -1,0 +1,203 @@
+"""Fine-grained resource model.
+
+FIRM manages five resource types per microservice container (paper §3.4):
+CPU time, memory bandwidth, last-level-cache (LLC) capacity, disk I/O
+bandwidth, and network bandwidth.  This module defines the resource
+enumeration and small vector types used everywhere else: node capacities,
+container limits, instantaneous demand, and utilization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class Resource(str, enum.Enum):
+    """The five fine-grained resource types controlled by FIRM.
+
+    Values double as the telemetry field names used by the tracing
+    coordinator and the RL state vector.
+    """
+
+    CPU = "cpu"
+    MEMORY_BANDWIDTH = "memory_bandwidth"
+    LLC = "llc"
+    DISK_IO = "disk_io"
+    NETWORK = "network"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Canonical ordering of resources used for state/action vectors.
+RESOURCE_TYPES: Tuple[Resource, ...] = (
+    Resource.CPU,
+    Resource.MEMORY_BANDWIDTH,
+    Resource.LLC,
+    Resource.DISK_IO,
+    Resource.NETWORK,
+)
+
+#: Default units, for documentation and pretty-printing only.
+RESOURCE_UNITS: Dict[Resource, str] = {
+    Resource.CPU: "cores",
+    Resource.MEMORY_BANDWIDTH: "GB/s",
+    Resource.LLC: "MB",
+    Resource.DISK_IO: "MB/s",
+    Resource.NETWORK: "Gb/s",
+}
+
+
+@dataclass
+class ResourceVector:
+    """A per-resource-type quantity (capacity, demand, usage, or limit).
+
+    The vector behaves like a small mapping from :class:`Resource` to float
+    and supports element-wise arithmetic, which keeps contention and
+    utilization computations readable.
+    """
+
+    values: Dict[Resource, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        normalized: Dict[Resource, float] = {}
+        for resource in RESOURCE_TYPES:
+            normalized[resource] = float(self.values.get(resource, 0.0))
+        self.values = normalized
+
+    # ------------------------------------------------------------ accessors
+    def __getitem__(self, resource: Resource) -> float:
+        return self.values[Resource(resource)]
+
+    def __setitem__(self, resource: Resource, value: float) -> None:
+        self.values[Resource(resource)] = float(value)
+
+    def get(self, resource: Resource, default: float = 0.0) -> float:
+        return self.values.get(Resource(resource), default)
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(RESOURCE_TYPES)
+
+    def items(self) -> Iterable[Tuple[Resource, float]]:
+        return ((resource, self.values[resource]) for resource in RESOURCE_TYPES)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-string-keyed dictionary (for reports and JSON)."""
+        return {resource.value: self.values[resource] for resource in RESOURCE_TYPES}
+
+    def copy(self) -> "ResourceVector":
+        return ResourceVector(dict(self.values))
+
+    # ----------------------------------------------------------- arithmetic
+    def _combine(self, other: "ResourceVector | Mapping | float", op) -> "ResourceVector":
+        result: Dict[Resource, float] = {}
+        for resource in RESOURCE_TYPES:
+            if isinstance(other, (int, float)):
+                rhs = float(other)
+            elif isinstance(other, ResourceVector):
+                rhs = other[resource]
+            else:
+                rhs = float(other.get(resource, 0.0))
+            result[resource] = op(self.values[resource], rhs)
+        return ResourceVector(result)
+
+    def __add__(self, other) -> "ResourceVector":
+        return self._combine(other, lambda a, b: a + b)
+
+    def __sub__(self, other) -> "ResourceVector":
+        return self._combine(other, lambda a, b: a - b)
+
+    def __mul__(self, other) -> "ResourceVector":
+        return self._combine(other, lambda a, b: a * b)
+
+    def clamp_nonnegative(self) -> "ResourceVector":
+        """Return a copy with all negative entries replaced by zero."""
+        return ResourceVector(
+            {resource: max(0.0, value) for resource, value in self.values.items()}
+        )
+
+    def ratio(self, denominator: "ResourceVector") -> "ResourceVector":
+        """Element-wise ratio; a zero denominator maps to a ratio of zero."""
+        result: Dict[Resource, float] = {}
+        for resource in RESOURCE_TYPES:
+            denom = denominator[resource]
+            result[resource] = self.values[resource] / denom if denom > 0 else 0.0
+        return ResourceVector(result)
+
+    def total(self) -> float:
+        """Sum across all resource types (used for coarse comparisons)."""
+        return float(sum(self.values[resource] for resource in RESOURCE_TYPES))
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """True if every component is >= the corresponding component of ``other``."""
+        return all(self.values[r] >= other[r] for r in RESOURCE_TYPES)
+
+    @classmethod
+    def uniform(cls, value: float) -> "ResourceVector":
+        """Vector with the same ``value`` for every resource type."""
+        return cls({resource: value for resource in RESOURCE_TYPES})
+
+    @classmethod
+    def from_kwargs(
+        cls,
+        cpu: float = 0.0,
+        memory_bandwidth: float = 0.0,
+        llc: float = 0.0,
+        disk_io: float = 0.0,
+        network: float = 0.0,
+    ) -> "ResourceVector":
+        """Construct from keyword arguments, one per resource type."""
+        return cls(
+            {
+                Resource.CPU: cpu,
+                Resource.MEMORY_BANDWIDTH: memory_bandwidth,
+                Resource.LLC: llc,
+                Resource.DISK_IO: disk_io,
+                Resource.NETWORK: network,
+            }
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        pairs = ", ".join(f"{r.value}={v:.3g}" for r, v in self.items())
+        return f"ResourceVector({pairs})"
+
+
+class ResourceLimits(ResourceVector):
+    """Per-container resource limits (``RLT`` in the paper's notation)."""
+
+
+class ResourceUsage(ResourceVector):
+    """Instantaneous per-container resource usage (``RU`` in the paper)."""
+
+
+def default_node_capacity() -> ResourceVector:
+    """Capacity of one simulated server.
+
+    Loosely modelled on the paper's testbed nodes (56-192 cores, hundreds of
+    GB of RAM): 64 cores, 100 GB/s memory bandwidth, 32 MB LLC, 2000 MB/s
+    disk bandwidth, 10 Gb/s network.
+    """
+    return ResourceVector.from_kwargs(
+        cpu=64.0,
+        memory_bandwidth=100.0,
+        llc=32.0,
+        disk_io=2000.0,
+        network=10.0,
+    )
+
+
+def default_container_limits() -> ResourceLimits:
+    """Default (over-provisioned) limits assigned to a fresh container.
+
+    The paper notes limits are "predetermined before deployment (usually
+    overprovisioned)" and later tightened by FIRM.
+    """
+    return ResourceLimits.from_kwargs(
+        cpu=8.0,
+        memory_bandwidth=20.0,
+        llc=8.0,
+        disk_io=400.0,
+        network=2.0,
+    )

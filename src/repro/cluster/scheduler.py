@@ -1,0 +1,103 @@
+"""Placement policies for container scheduling.
+
+The default cluster placement spreads containers across the least-allocated
+nodes (the Kubernetes default scheduler's behaviour).  This module makes
+the policy pluggable so experiments can study how placement interacts with
+contention — bin-packing concentrates load (higher utilization, more
+interference), spreading dilutes it, and anti-affinity keeps replicas of
+the same service apart so a single node-level anomaly cannot take out a
+whole replica set.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence
+
+from repro.cluster.node import Node
+from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceLimits, ResourceVector
+from repro.sim.rng import SeededRNG
+
+
+class PlacementPolicy(str, enum.Enum):
+    """Available placement strategies."""
+
+    SPREAD = "spread"            # least-allocated first (Kubernetes default)
+    BINPACK = "binpack"          # most-allocated node that still fits
+    RANDOM = "random"            # uniformly random among fitting nodes
+    ANTI_AFFINITY = "anti_affinity"  # spread, avoiding nodes already hosting the service
+
+
+class Scheduler:
+    """Chooses the node for a new container under a configurable policy.
+
+    Parameters
+    ----------
+    policy:
+        Placement strategy.
+    rng:
+        Seeded RNG (used by the random policy; harmless otherwise).
+    """
+
+    def __init__(
+        self,
+        policy: PlacementPolicy = PlacementPolicy.SPREAD,
+        rng: Optional[SeededRNG] = None,
+    ) -> None:
+        self.policy = PlacementPolicy(policy)
+        self.rng = rng if rng is not None else SeededRNG(0)
+
+    # ------------------------------------------------------------------ API
+    def place(
+        self,
+        nodes: Sequence[Node],
+        limits: Optional[ResourceLimits],
+        service_name: Optional[str] = None,
+    ) -> Node:
+        """Pick a node for a container with the given limits.
+
+        Falls back to the least-allocated node when nothing fits (the
+        cluster is oversubscribed on limits, which is allowed — limits are
+        caps, not reservations, until partitions are enforced).
+        """
+        if not nodes:
+            raise ValueError("cannot place a container on an empty cluster")
+        want = limits if limits is not None else ResourceLimits()
+        fitting = [node for node in nodes if node.can_fit(want)]
+        candidates = fitting if fitting else list(nodes)
+
+        if self.policy is PlacementPolicy.SPREAD:
+            return min(candidates, key=self._allocation_score)
+        if self.policy is PlacementPolicy.BINPACK:
+            return max(candidates, key=self._allocation_score)
+        if self.policy is PlacementPolicy.RANDOM:
+            index = self.rng.integers("scheduler:random", 0, len(candidates))
+            return candidates[index]
+        if self.policy is PlacementPolicy.ANTI_AFFINITY:
+            return self._anti_affinity(candidates, service_name)
+        raise ValueError(f"unknown placement policy {self.policy!r}")
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _allocation_score(node: Node) -> float:
+        """Fraction of the node's most-allocated resource (0 = empty node)."""
+        allocated = node.allocated_limits()
+        capacity = node.capacity
+        ratios = [
+            allocated[resource] / capacity[resource]
+            for resource in RESOURCE_TYPES
+            if capacity[resource] > 0
+        ]
+        return max(ratios) if ratios else 0.0
+
+    def _anti_affinity(self, candidates: List[Node], service_name: Optional[str]) -> Node:
+        """Prefer nodes not already hosting a replica of the same service."""
+        if service_name is None:
+            return min(candidates, key=self._allocation_score)
+        without_replica = [
+            node
+            for node in candidates
+            if all(container.service_name != service_name for container in node.containers)
+        ]
+        pool = without_replica if without_replica else candidates
+        return min(pool, key=self._allocation_score)

@@ -1,0 +1,161 @@
+"""Telemetry collection (the cAdvisor / Prometheus / perf substitute).
+
+Table 2 of the paper lists the telemetry signals FIRM collects per
+container: CPU usage, memory usage, filesystem read/write, network
+transmit/receive, and perf-counter-derived LLC / DRAM access metrics.  The
+:class:`TelemetryCollector` samples the simulated cluster on a fixed period
+and keeps a bounded history per container, which the tracing coordinator
+exposes to the Extractor and the RL agent.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass
+class TelemetrySample:
+    """One per-container telemetry observation.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the sample (seconds).
+    container_id:
+        Container the sample describes.
+    service_name:
+        Microservice the container belongs to.
+    usage:
+        Absolute per-resource usage.
+    utilization:
+        Usage divided by the container's limits (``RU/RLT``).
+    limits:
+        The container's limits at sample time.
+    node:
+        Hosting node name.
+    queue_length:
+        Instance queue length at sample time.
+    """
+
+    time: float
+    container_id: str
+    service_name: str
+    usage: ResourceVector
+    utilization: ResourceVector
+    limits: ResourceVector
+    node: Optional[str] = None
+    queue_length: int = 0
+
+    def as_row(self) -> Dict[str, float]:
+        """Flatten to a plain dict (telemetry export format)."""
+        row: Dict[str, float] = {"time": self.time, "queue_length": float(self.queue_length)}
+        for resource in RESOURCE_TYPES:
+            row[f"usage_{resource.value}"] = self.usage[resource]
+            row[f"utilization_{resource.value}"] = self.utilization[resource]
+            row[f"limit_{resource.value}"] = self.limits[resource]
+        return row
+
+
+class TelemetryCollector:
+    """Periodically samples every container in a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to observe.
+    engine:
+        Simulation engine used to schedule the sampling loop.
+    period_s:
+        Sampling period in seconds (default 1 s, matching the paper's
+        near-real-time telemetry granularity).
+    history:
+        Number of samples retained per container.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",  # noqa: F821 - forward reference
+        engine: SimulationEngine,
+        period_s: float = 1.0,
+        history: int = 600,
+    ) -> None:
+        self.cluster = cluster
+        self.engine = engine
+        self.period_s = float(period_s)
+        self.history = int(history)
+        self._samples: Dict[str, Deque[TelemetrySample]] = defaultdict(
+            lambda: deque(maxlen=self.history)
+        )
+        self._running = False
+
+    # ----------------------------------------------------------------- start
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._running:
+            return
+        self._running = True
+        self.engine.schedule_recurring(
+            self.period_s, lambda eng: self.sample_all(), name="telemetry-sample"
+        )
+
+    # --------------------------------------------------------------- sampling
+    def sample_all(self) -> List[TelemetrySample]:
+        """Take one sample of every container; also returns the batch."""
+        batch: List[TelemetrySample] = []
+        for container in self.cluster.all_containers():
+            sample = self.sample_container(container)
+            batch.append(sample)
+        return batch
+
+    def sample_container(self, container) -> TelemetrySample:
+        """Sample a single container and append to its history."""
+        instance = container.instance
+        sample = TelemetrySample(
+            time=self.engine.now,
+            container_id=container.id,
+            service_name=container.service_name,
+            usage=container.usage(),
+            utilization=container.utilization(),
+            limits=container.limits.copy(),
+            node=container.node.name if container.node is not None else None,
+            queue_length=instance.queue_length if instance is not None else 0,
+        )
+        self._samples[container.id].append(sample)
+        return sample
+
+    # ---------------------------------------------------------------- queries
+    def latest(self, container_id: str) -> Optional[TelemetrySample]:
+        """Most recent sample for a container (None if never sampled)."""
+        samples = self._samples.get(container_id)
+        if not samples:
+            return None
+        return samples[-1]
+
+    def window(self, container_id: str, duration_s: float) -> List[TelemetrySample]:
+        """Samples for ``container_id`` within the last ``duration_s`` seconds."""
+        samples = self._samples.get(container_id, deque())
+        cutoff = self.engine.now - duration_s
+        return [sample for sample in samples if sample.time >= cutoff]
+
+    def service_utilization(self, service_name: str) -> ResourceVector:
+        """Mean utilization across the latest samples of a service's containers."""
+        latest = [
+            samples[-1]
+            for samples in self._samples.values()
+            if samples and samples[-1].service_name == service_name
+        ]
+        if not latest:
+            return ResourceVector()
+        total = ResourceVector()
+        for sample in latest:
+            total = total + sample.utilization
+        return total * (1.0 / len(latest))
+
+    def container_ids(self) -> List[str]:
+        """All container ids with at least one sample."""
+        return sorted(self._samples)

@@ -1,0 +1,219 @@
+"""Proactive SLO-violation prediction (the paper's stated future work).
+
+Section 5 of the paper notes that transient SLO violations shorter than the
+actuation latency (Table 6) cannot be mitigated reactively, and that
+"predicting the spikes before they happen, and proactively taking
+mitigation actions can be a solution ... this will be the subject of our
+future work."  This module implements that extension: lightweight online
+time-series predictors over the tail-latency signal, and a
+:class:`ProactiveTrigger` that fires when the *predicted* latency is
+expected to cross the SLO within the actuation horizon, so the controller
+can re-provision before the violation materializes.
+
+Two predictors are provided:
+
+* :class:`EWMAPredictor` -- exponentially weighted moving average with a
+  linear trend term (Holt's method), cheap and robust;
+* :class:`LinearTrendPredictor` -- least-squares line fit over a sliding
+  window, better at catching steady ramps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+
+class LatencyPredictor:
+    """Interface: observe latency samples, forecast the near future."""
+
+    def observe(self, time_s: float, latency_ms: float) -> None:
+        """Feed one observation."""
+        raise NotImplementedError
+
+    def forecast(self, horizon_s: float) -> Optional[float]:
+        """Predicted latency (ms) ``horizon_s`` seconds ahead (None = no data)."""
+        raise NotImplementedError
+
+
+class EWMAPredictor(LatencyPredictor):
+    """Holt's linear exponential smoothing over the latency signal.
+
+    Parameters
+    ----------
+    level_alpha:
+        Smoothing factor for the level term.
+    trend_beta:
+        Smoothing factor for the trend term.
+    """
+
+    def __init__(self, level_alpha: float = 0.4, trend_beta: float = 0.2) -> None:
+        if not 0.0 < level_alpha <= 1.0 or not 0.0 < trend_beta <= 1.0:
+            raise ValueError("smoothing factors must be in (0, 1]")
+        self.level_alpha = float(level_alpha)
+        self.trend_beta = float(trend_beta)
+        self._level: Optional[float] = None
+        self._trend = 0.0
+        self._last_time: Optional[float] = None
+
+    def observe(self, time_s: float, latency_ms: float) -> None:
+        if self._level is None:
+            self._level = float(latency_ms)
+            self._last_time = float(time_s)
+            return
+        previous_time = self._last_time if self._last_time is not None else float(time_s)
+        dt = max(float(time_s) - previous_time, 1e-9)
+        previous_level = self._level
+        self._level = (
+            self.level_alpha * float(latency_ms)
+            + (1.0 - self.level_alpha) * (self._level + self._trend * dt)
+        )
+        observed_trend = (self._level - previous_level) / dt
+        self._trend = self.trend_beta * observed_trend + (1.0 - self.trend_beta) * self._trend
+        self._last_time = float(time_s)
+
+    def forecast(self, horizon_s: float) -> Optional[float]:
+        if self._level is None:
+            return None
+        return max(0.0, self._level + self._trend * float(horizon_s))
+
+
+class LinearTrendPredictor(LatencyPredictor):
+    """Least-squares linear extrapolation over a sliding window of samples."""
+
+    def __init__(self, window: int = 12) -> None:
+        if window < 2:
+            raise ValueError("window must hold at least two samples")
+        self.window = int(window)
+        self._samples: Deque[Tuple[float, float]] = deque(maxlen=self.window)
+
+    def observe(self, time_s: float, latency_ms: float) -> None:
+        self._samples.append((float(time_s), float(latency_ms)))
+
+    def forecast(self, horizon_s: float) -> Optional[float]:
+        if not self._samples:
+            return None
+        if len(self._samples) == 1:
+            return self._samples[0][1]
+        times = np.array([t for t, _ in self._samples])
+        values = np.array([v for _, v in self._samples])
+        # Centre time to keep the fit well-conditioned.
+        t0 = times[-1]
+        slope, intercept = np.polyfit(times - t0, values, 1)
+        return float(max(0.0, intercept + slope * float(horizon_s)))
+
+
+@dataclass
+class PredictionEvent:
+    """One proactive-trigger decision (kept for evaluation/audit)."""
+
+    time_s: float
+    predicted_ms: float
+    observed_ms: float
+    slo_ms: float
+    triggered: bool
+
+
+class ProactiveTrigger:
+    """Fires when the predicted tail latency will cross the SLO.
+
+    Parameters
+    ----------
+    slo_latency_ms:
+        The SLO to protect.
+    predictor:
+        Any :class:`LatencyPredictor` (defaults to Holt EWMA).
+    horizon_s:
+        Forecast horizon; should cover detection + actuation latency
+        (Table 6 puts actuation at 2-46 ms, detection dominates).
+    margin:
+        Trigger when the forecast exceeds ``margin x SLO`` (a margin below
+        1.0 triggers early, above 1.0 tolerates brief excursions).
+    """
+
+    def __init__(
+        self,
+        slo_latency_ms: float,
+        predictor: Optional[LatencyPredictor] = None,
+        horizon_s: float = 5.0,
+        margin: float = 0.9,
+    ) -> None:
+        self.slo_latency_ms = float(slo_latency_ms)
+        self.predictor = predictor if predictor is not None else EWMAPredictor()
+        self.horizon_s = float(horizon_s)
+        self.margin = float(margin)
+        self.events: List[PredictionEvent] = []
+
+    def update(self, time_s: float, observed_latency_ms: float) -> bool:
+        """Feed one observation; returns True when proactive action is warranted."""
+        self.predictor.observe(time_s, observed_latency_ms)
+        forecast = self.predictor.forecast(self.horizon_s)
+        triggered = forecast is not None and forecast >= self.margin * self.slo_latency_ms
+        self.events.append(
+            PredictionEvent(
+                time_s=float(time_s),
+                predicted_ms=float(forecast) if forecast is not None else 0.0,
+                observed_ms=float(observed_latency_ms),
+                slo_ms=self.slo_latency_ms,
+                triggered=bool(triggered),
+            )
+        )
+        return bool(triggered)
+
+    # ------------------------------------------------------------ evaluation
+    def lead_time_s(self) -> Optional[float]:
+        """Seconds between the first trigger and the first observed violation.
+
+        Positive lead time means the trigger fired before the violation
+        (the goal of proactive mitigation); None when either never happened.
+        """
+        first_trigger = next((e.time_s for e in self.events if e.triggered), None)
+        first_violation = next(
+            (e.time_s for e in self.events if e.observed_ms > self.slo_ms_threshold()), None
+        )
+        if first_trigger is None or first_violation is None:
+            return None
+        return first_violation - first_trigger
+
+    def slo_ms_threshold(self) -> float:
+        """The observed-latency threshold counted as a violation."""
+        return self.slo_latency_ms
+
+    def precision_recall(self) -> Tuple[float, float]:
+        """Precision/recall of trigger decisions against same-step violations.
+
+        A step is a true positive when the trigger fired and the observed
+        latency violated the SLO within the forecast horizon afterwards.
+        """
+        if not self.events:
+            return 0.0, 0.0
+        times = [e.time_s for e in self.events]
+        violations = [e.observed_ms > self.slo_latency_ms for e in self.events]
+        true_positive = false_positive = false_negative = 0
+        for index, event in enumerate(self.events):
+            horizon_end = event.time_s + self.horizon_s
+            future_violation = any(
+                violated
+                for t, violated in zip(times[index:], violations[index:])
+                if t <= horizon_end
+            )
+            if event.triggered and future_violation:
+                true_positive += 1
+            elif event.triggered and not future_violation:
+                false_positive += 1
+            elif not event.triggered and future_violation:
+                false_negative += 1
+        precision = (
+            true_positive / (true_positive + false_positive)
+            if (true_positive + false_positive)
+            else 0.0
+        )
+        recall = (
+            true_positive / (true_positive + false_negative)
+            if (true_positive + false_negative)
+            else 0.0
+        )
+        return precision, recall

@@ -1,0 +1,38 @@
+"""Reinforcement-learning resource estimator (DDPG).
+
+The paper's Resource Estimator is a model-free actor-critic agent trained
+with the deep deterministic policy gradient (DDPG) algorithm.  The original
+implementation uses PyTorch; this package re-implements the same
+architecture on numpy:
+
+* actor: 2 fully connected hidden layers of 40 ReLU units, Tanh output,
+  8 state inputs and 5 action outputs;
+* critic: 2 fully connected hidden layers of 40 ReLU units, 23 inputs
+  (state + action broadcast into the hidden layers) and 1 output;
+* replay buffer of 10^5 transitions, minibatches of 64, discount 0.9,
+  actor/critic learning rates 3e-4 / 3e-3, soft target updates
+  (Table 4 of the paper).
+"""
+
+from repro.core.rl.nn import MLP, Adam
+from repro.core.rl.noise import OrnsteinUhlenbeckNoise
+from repro.core.rl.replay_buffer import ReplayBuffer, Transition
+from repro.core.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.core.rl.reward import RewardConfig, compute_reward
+from repro.core.rl.env import MicroserviceEnvironment, RLState
+from repro.core.rl.transfer import transfer_agent
+
+__all__ = [
+    "MLP",
+    "Adam",
+    "OrnsteinUhlenbeckNoise",
+    "ReplayBuffer",
+    "Transition",
+    "DDPGAgent",
+    "DDPGConfig",
+    "RewardConfig",
+    "compute_reward",
+    "MicroserviceEnvironment",
+    "RLState",
+    "transfer_agent",
+]

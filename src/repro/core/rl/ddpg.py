@@ -1,0 +1,193 @@
+"""Deep deterministic policy gradient (DDPG) agent.
+
+Implements the actor-critic training loop of the paper's Algorithm 3 on
+top of the numpy MLPs in :mod:`repro.core.rl.nn`:
+
+* the **critic** ``Q_w(s, a)`` is trained by minimizing the TD error
+  against the target networks' bootstrap value;
+* the **actor** ``pi_theta(s)`` is updated along the sampled policy
+  gradient, i.e. the gradient of the critic's value with respect to the
+  action, backpropagated through the actor;
+* **target networks** for both are updated by Polyak averaging;
+* exploration adds Ornstein-Uhlenbeck noise to the deterministic action.
+
+Network shapes follow the paper (§3.4 "Implementation Details"): two
+hidden layers of 40 ReLU units each, Tanh on the actor output, 8 actor
+inputs, 5 actor outputs, 23 critic inputs (8 state + 5 action + 10 action
+broadcast into the second layer, modelled here simply as an 13-input
+concatenation padded to the same capacity), and 1 critic output.
+Hyperparameters default to Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.rl.nn import MLP, Adam
+from repro.core.rl.noise import OrnsteinUhlenbeckNoise
+from repro.core.rl.replay_buffer import ReplayBuffer
+
+
+@dataclass
+class DDPGConfig:
+    """Hyperparameters for the DDPG agent (defaults follow Table 4)."""
+
+    state_dim: int = 8
+    action_dim: int = 5
+    hidden_units: int = 40
+    actor_learning_rate: float = 3e-4
+    critic_learning_rate: float = 3e-3
+    discount: float = 0.9
+    target_update_tau: float = 0.1
+    replay_capacity: int = 100_000
+    batch_size: int = 64
+    exploration_sigma: float = 0.2
+    exploration_decay: float = 0.999
+    min_exploration: float = 0.05
+    seed: int = 0
+
+
+class DDPGAgent:
+    """Model-free actor-critic agent for fine-grained resource estimation.
+
+    Actions live in ``[-1, 1]^action_dim`` (Tanh range) and are mapped to
+    resource limits by the environment.
+    """
+
+    def __init__(self, config: Optional[DDPGConfig] = None) -> None:
+        self.config = config or DDPGConfig()
+        cfg = self.config
+        self.actor = MLP(
+            [cfg.state_dim, cfg.hidden_units, cfg.hidden_units, cfg.action_dim],
+            ["relu", "relu", "tanh"],
+            seed=cfg.seed,
+        )
+        self.critic = MLP(
+            [cfg.state_dim + cfg.action_dim, cfg.hidden_units, cfg.hidden_units, 1],
+            ["relu", "relu", "identity"],
+            seed=cfg.seed + 1,
+        )
+        self.target_actor = self.actor.clone()
+        self.target_critic = self.critic.clone()
+        self.actor_optimizer = Adam(self.actor.get_parameters(), cfg.actor_learning_rate)
+        self.critic_optimizer = Adam(self.critic.get_parameters(), cfg.critic_learning_rate)
+        self.replay_buffer = ReplayBuffer(cfg.replay_capacity, seed=cfg.seed + 2)
+        self.noise = OrnsteinUhlenbeckNoise(
+            cfg.action_dim, sigma=cfg.exploration_sigma, seed=cfg.seed + 3
+        )
+        self.exploration_scale = 1.0
+        self.training_steps = 0
+
+    # --------------------------------------------------------------- policy
+    def act(self, state: np.ndarray, explore: bool = True) -> np.ndarray:
+        """Select an action for ``state`` (with exploration noise if asked)."""
+        state = np.asarray(state, dtype=float).reshape(1, -1)
+        action = self.actor.forward(state)[0]
+        if explore:
+            action = action + self.noise.scaled_sample(self.exploration_scale)
+        return np.clip(action, -1.0, 1.0)
+
+    def remember(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool = False,
+    ) -> None:
+        """Store one transition in the replay buffer."""
+        self.replay_buffer.push(state, action, reward, next_state, done)
+
+    def begin_episode(self) -> None:
+        """Reset exploration noise and decay its scale (per-episode schedule)."""
+        self.noise.reset()
+        self.exploration_scale = max(
+            self.config.min_exploration,
+            self.exploration_scale * self.config.exploration_decay,
+        )
+
+    # ------------------------------------------------------------- learning
+    def train_step(self) -> Optional[Dict[str, float]]:
+        """One minibatch update of critic and actor.
+
+        Returns None when the replay buffer does not yet hold a full batch;
+        otherwise a dict with the critic loss and the actor's (negative)
+        objective for monitoring.
+        """
+        cfg = self.config
+        if len(self.replay_buffer) < cfg.batch_size:
+            return None
+        states, actions, rewards, next_states, dones = self.replay_buffer.sample(cfg.batch_size)
+
+        # ---- critic update: minimize TD error against the target networks.
+        next_actions = self.target_actor.forward(next_states)
+        target_q = self.target_critic.forward(
+            np.concatenate([next_states, next_actions], axis=1)
+        ).reshape(-1)
+        targets = rewards + cfg.discount * (1.0 - dones) * target_q
+        critic_inputs = np.concatenate([states, actions], axis=1)
+        q_values = self.critic.forward(critic_inputs, cache=True).reshape(-1)
+        td_errors = q_values - targets
+        critic_loss = float(np.mean(td_errors**2))
+        grad_q = (2.0 * td_errors / cfg.batch_size).reshape(-1, 1)
+        critic_wgrads, critic_bgrads, _ = self.critic.backward(grad_q)
+        critic_grads = self._interleave(critic_wgrads, critic_bgrads)
+        self.critic_optimizer.step(self.critic.get_parameters(), critic_grads)
+
+        # ---- actor update: ascend dQ/da through the actor.
+        policy_actions = self.actor.forward(states, cache=True)
+        critic_eval_inputs = np.concatenate([states, policy_actions], axis=1)
+        q_of_policy = self.critic.forward(critic_eval_inputs, cache=True)
+        actor_objective = float(np.mean(q_of_policy))
+        # dQ/d(inputs) gives gradients wrt [state, action]; keep the action part.
+        _, _, grad_inputs = self.critic.backward(
+            np.full_like(q_of_policy, -1.0 / cfg.batch_size)
+        )
+        grad_actions = grad_inputs[:, cfg.state_dim:]
+        actor_wgrads, actor_bgrads, _ = self.actor.backward(grad_actions)
+        actor_grads = self._interleave(actor_wgrads, actor_bgrads)
+        self.actor_optimizer.step(self.actor.get_parameters(), actor_grads)
+
+        # ---- target network soft updates.
+        self.target_actor.soft_update_from(self.actor, cfg.target_update_tau)
+        self.target_critic.soft_update_from(self.critic, cfg.target_update_tau)
+
+        self.training_steps += 1
+        return {"critic_loss": critic_loss, "actor_objective": actor_objective}
+
+    @staticmethod
+    def _interleave(
+        weight_grads: List[np.ndarray], bias_grads: List[np.ndarray]
+    ) -> List[np.ndarray]:
+        """Interleave weight/bias gradients to match ``MLP.get_parameters`` order."""
+        grads: List[np.ndarray] = []
+        for wgrad, bgrad in zip(weight_grads, bias_grads):
+            grads.append(wgrad)
+            grads.append(bgrad)
+        return grads
+
+    # ---------------------------------------------------------- persistence
+    def state_dict(self) -> Dict[str, dict]:
+        """Snapshot of all four networks (for checkpoints and transfer)."""
+        return {
+            "actor": self.actor.state_dict(),
+            "critic": self.critic.state_dict(),
+            "target_actor": self.target_actor.state_dict(),
+            "target_critic": self.target_critic.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, dict]) -> None:
+        """Restore networks from a :meth:`state_dict` snapshot."""
+        self.actor = MLP.from_state_dict(state["actor"])
+        self.critic = MLP.from_state_dict(state["critic"])
+        self.target_actor = MLP.from_state_dict(state["target_actor"])
+        self.target_critic = MLP.from_state_dict(state["target_critic"])
+        self.actor_optimizer = Adam(
+            self.actor.get_parameters(), self.config.actor_learning_rate
+        )
+        self.critic_optimizer = Adam(
+            self.critic.get_parameters(), self.config.critic_learning_rate
+        )

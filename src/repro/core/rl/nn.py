@@ -1,0 +1,207 @@
+"""Minimal fully connected neural networks with manual backpropagation.
+
+The DDPG actor and critic in the paper are small multilayer perceptrons
+(two hidden layers of 40 units).  This module provides exactly what those
+need: dense layers, ReLU/Tanh/identity activations, forward/backward
+passes, an Adam optimizer, and (de)serialization of parameters so that
+agents can be checkpointed and transferred.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_ACTIVATIONS = ("relu", "tanh", "identity")
+
+
+def _activate(name: str, x: np.ndarray) -> np.ndarray:
+    if name == "relu":
+        return np.maximum(0.0, x)
+    if name == "tanh":
+        return np.tanh(x)
+    if name == "identity":
+        return x
+    raise ValueError(f"unknown activation {name!r}")
+
+
+def _activate_grad(name: str, pre_activation: np.ndarray, output: np.ndarray) -> np.ndarray:
+    if name == "relu":
+        return (pre_activation > 0.0).astype(float)
+    if name == "tanh":
+        return 1.0 - output**2
+    if name == "identity":
+        return np.ones_like(pre_activation)
+    raise ValueError(f"unknown activation {name!r}")
+
+
+class MLP:
+    """A small dense network with explicit forward/backward passes.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes including input and output, e.g. ``[8, 40, 40, 5]``.
+    activations:
+        One activation name per layer transition ("relu", "tanh",
+        "identity"); length must be ``len(layer_sizes) - 1``.
+    seed:
+        Seed for weight initialization (He-style scaling).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activations: Sequence[str],
+        seed: int = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least an input and an output layer")
+        if len(activations) != len(layer_sizes) - 1:
+            raise ValueError("need one activation per layer transition")
+        for name in activations:
+            if name not in _ACTIVATIONS:
+                raise ValueError(f"unknown activation {name!r}")
+        self.layer_sizes = list(int(s) for s in layer_sizes)
+        self.activations = list(activations)
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(self.layer_sizes[:-1], self.layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._cache: Optional[Dict[str, List[np.ndarray]]] = None
+
+    # ------------------------------------------------------------ inference
+    def forward(self, inputs: np.ndarray, cache: bool = False) -> np.ndarray:
+        """Forward pass over a batch (n, input_dim) -> (n, output_dim)."""
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        pre_activations: List[np.ndarray] = []
+        outputs: List[np.ndarray] = [x]
+        for weight, bias, activation in zip(self.weights, self.biases, self.activations):
+            z = outputs[-1] @ weight + bias
+            a = _activate(activation, z)
+            pre_activations.append(z)
+            outputs.append(a)
+        if cache:
+            self._cache = {"pre": pre_activations, "out": outputs}
+        return outputs[-1]
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    # ------------------------------------------------------------- gradients
+    def backward(
+        self, grad_output: np.ndarray
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], np.ndarray]:
+        """Backpropagate ``dLoss/dOutput`` through the cached forward pass.
+
+        Returns ``(weight_grads, bias_grads, grad_input)``.  Requires the
+        last :meth:`forward` call to have been made with ``cache=True``.
+        """
+        if self._cache is None:
+            raise RuntimeError("backward() requires a cached forward pass")
+        pre_activations = self._cache["pre"]
+        outputs = self._cache["out"]
+        grad = np.atleast_2d(np.asarray(grad_output, dtype=float))
+        weight_grads: List[np.ndarray] = [np.zeros_like(w) for w in self.weights]
+        bias_grads: List[np.ndarray] = [np.zeros_like(b) for b in self.biases]
+        for layer in reversed(range(len(self.weights))):
+            activation = self.activations[layer]
+            grad = grad * _activate_grad(activation, pre_activations[layer], outputs[layer + 1])
+            weight_grads[layer] = outputs[layer].T @ grad
+            bias_grads[layer] = grad.sum(axis=0)
+            grad = grad @ self.weights[layer].T
+        return weight_grads, bias_grads, grad
+
+    # ------------------------------------------------------------ parameters
+    def get_parameters(self) -> List[np.ndarray]:
+        """Flat list of parameter arrays (weights then biases, interleaved)."""
+        params: List[np.ndarray] = []
+        for weight, bias in zip(self.weights, self.biases):
+            params.append(weight)
+            params.append(bias)
+        return params
+
+    def set_parameters(self, params: Sequence[np.ndarray]) -> None:
+        """Replace parameters from a list produced by :meth:`get_parameters`."""
+        expected = 2 * len(self.weights)
+        if len(params) != expected:
+            raise ValueError(f"expected {expected} parameter arrays, got {len(params)}")
+        for index in range(len(self.weights)):
+            weight = np.asarray(params[2 * index], dtype=float)
+            bias = np.asarray(params[2 * index + 1], dtype=float)
+            if weight.shape != self.weights[index].shape or bias.shape != self.biases[index].shape:
+                raise ValueError("parameter shape mismatch")
+            self.weights[index] = weight.copy()
+            self.biases[index] = bias.copy()
+
+    def copy_from(self, other: "MLP") -> None:
+        """Hard-copy parameters from another network of the same shape."""
+        self.set_parameters(other.get_parameters())
+
+    def soft_update_from(self, other: "MLP", tau: float) -> None:
+        """Polyak averaging: ``theta <- tau * other + (1 - tau) * theta``."""
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        for index in range(len(self.weights)):
+            self.weights[index] = tau * other.weights[index] + (1.0 - tau) * self.weights[index]
+            self.biases[index] = tau * other.biases[index] + (1.0 - tau) * self.biases[index]
+
+    def clone(self) -> "MLP":
+        """Structural + parameter copy."""
+        twin = MLP(self.layer_sizes, self.activations)
+        twin.copy_from(self)
+        return twin
+
+    def state_dict(self) -> Dict[str, list]:
+        """JSON-serializable parameter snapshot."""
+        return {
+            "layer_sizes": list(self.layer_sizes),
+            "activations": list(self.activations),
+            "weights": [w.tolist() for w in self.weights],
+            "biases": [b.tolist() for b in self.biases],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: Dict[str, list]) -> "MLP":
+        """Rebuild a network from :meth:`state_dict` output."""
+        net = cls(state["layer_sizes"], state["activations"])
+        net.weights = [np.asarray(w, dtype=float) for w in state["weights"]]
+        net.biases = [np.asarray(b, dtype=float) for b in state["biases"]]
+        return net
+
+
+class Adam:
+    """Adam optimizer over a list of parameter arrays."""
+
+    def __init__(
+        self,
+        parameters: Sequence[np.ndarray],
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        self.learning_rate = float(learning_rate)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self, parameters: List[np.ndarray], gradients: Sequence[np.ndarray]) -> None:
+        """Apply one Adam update in place."""
+        if len(parameters) != len(self._m) or len(gradients) != len(self._m):
+            raise ValueError("parameter/gradient count mismatch with optimizer state")
+        self._t += 1
+        for index, (param, grad) in enumerate(zip(parameters, gradients)):
+            self._m[index] = self.beta1 * self._m[index] + (1.0 - self.beta1) * grad
+            self._v[index] = self.beta2 * self._v[index] + (1.0 - self.beta2) * (grad * grad)
+            m_hat = self._m[index] / (1.0 - self.beta1**self._t)
+            v_hat = self._v[index] / (1.0 - self.beta2**self._t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,108 @@
+"""Experience replay buffer for DDPG.
+
+The replay buffer stores ``(state, action, reward, next_state, done)``
+transitions and supplies uniformly sampled minibatches, breaking the
+temporal correlation between consecutive transitions (paper §3.4, "DDPG
+also solves the issue of dependency between samples ... by introducing a
+replay buffer").  Capacity defaults to 10^5 as in Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Transition:
+    """One environment transition."""
+
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+    done: bool = False
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO replay buffer with uniform sampling.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of transitions retained (oldest evicted first).
+    seed:
+        Seed for minibatch sampling.
+    """
+
+    def __init__(self, capacity: int = 100_000, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._storage: List[Transition] = []
+        self._next_index = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._storage) >= self.capacity
+
+    def add(self, transition: Transition) -> None:
+        """Insert one transition, evicting the oldest when full."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._next_index] = transition
+        self._next_index = (self._next_index + 1) % self.capacity
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool = False,
+    ) -> None:
+        """Convenience wrapper building the :class:`Transition`."""
+        self.add(
+            Transition(
+                state=np.asarray(state, dtype=float),
+                action=np.asarray(action, dtype=float),
+                reward=float(reward),
+                next_state=np.asarray(next_state, dtype=float),
+                done=bool(done),
+            )
+        )
+
+    def sample(
+        self, batch_size: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniformly sample a minibatch as stacked arrays.
+
+        Raises
+        ------
+        ValueError
+            If the buffer holds fewer than ``batch_size`` transitions.
+        """
+        if batch_size > len(self._storage):
+            raise ValueError(
+                f"cannot sample {batch_size} transitions from a buffer of {len(self._storage)}"
+            )
+        indices = self._rng.choice(len(self._storage), size=batch_size, replace=False)
+        batch = [self._storage[int(i)] for i in indices]
+        states = np.vstack([t.state for t in batch])
+        actions = np.vstack([t.action for t in batch])
+        rewards = np.array([t.reward for t in batch], dtype=float)
+        next_states = np.vstack([t.next_state for t in batch])
+        dones = np.array([t.done for t in batch], dtype=float)
+        return states, actions, rewards, next_states, dones
+
+    def clear(self) -> None:
+        """Drop all stored transitions."""
+        self._storage.clear()
+        self._next_index = 0

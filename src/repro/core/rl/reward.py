@@ -1,0 +1,78 @@
+"""Reward function for the resource-estimation RL agent.
+
+The paper's objective: keep SLO violations as low as possible while keeping
+resource utilization (relative to the granted limits) as high as possible.
+The reward at each step is
+
+``r_t = alpha * SV_t * |R| + (1 - alpha) * sum_i RU_i / RLT_i``
+
+where ``SV_t`` is the SLO-violation ratio (SLO latency / current latency,
+1 when no violation), ``RU_i / RLT_i`` is the utilization of resource ``i``
+relative to its limit, and ``|R|`` is the number of managed resource types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class RewardConfig:
+    """Weights for the reward function.
+
+    Attributes
+    ----------
+    alpha:
+        Trade-off between SLO preservation (alpha) and utilization
+        (1 - alpha).  The paper emphasizes SLO maintenance, so the default
+        weighs it more heavily.
+    num_resources:
+        ``|R|``, the number of managed resource types (5 in the paper).
+    """
+
+    alpha: float = 0.7
+    num_resources: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.num_resources <= 0:
+            raise ValueError("num_resources must be positive")
+
+
+def compute_reward(
+    slo_violation_ratio: float,
+    utilizations: Sequence[float],
+    config: RewardConfig | None = None,
+) -> float:
+    """Compute the per-step reward.
+
+    Parameters
+    ----------
+    slo_violation_ratio:
+        ``SV_t`` = SLO latency / current latency for the managed instance,
+        clipped to [0, 1]; 1 means "meeting the SLO with no slack deficit".
+    utilizations:
+        ``RU_i / RLT_i`` for each managed resource type, each clipped to
+        [0, 1].
+    config:
+        Reward weights; defaults are used when omitted.
+    """
+    cfg = config or RewardConfig()
+    sv = float(min(max(slo_violation_ratio, 0.0), 1.0))
+    clipped = [min(max(float(u), 0.0), 1.0) for u in utilizations]
+    utilization_term = sum(clipped)
+    return cfg.alpha * sv * cfg.num_resources + (1.0 - cfg.alpha) * utilization_term
+
+
+def slo_violation_ratio(slo_latency_ms: float, current_latency_ms: float) -> float:
+    """``SV_t`` as defined in the paper: SLO latency over current latency.
+
+    Returns 1.0 when the current latency is within the SLO (no violation)
+    or when no latency has been observed yet.
+    """
+    if current_latency_ms <= 0.0:
+        return 1.0
+    ratio = slo_latency_ms / current_latency_ms
+    return float(min(1.0, max(0.0, ratio)))

@@ -1,0 +1,58 @@
+"""Transfer learning for per-microservice RL agents.
+
+Training a tailored agent for every microservice from scratch is too slow
+for production churn; the paper bootstraps specialized ("one-for-each")
+agents from a general ("one-for-all") agent by transferring its learned
+parameters and then fine-tuning.  Here transfer copies the actor/critic
+(and target) weights into a fresh agent, optionally shrinking the
+exploration scale because the transferred policy is already competent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.rl.ddpg import DDPGAgent, DDPGConfig
+
+
+def transfer_agent(
+    source: DDPGAgent,
+    config: Optional[DDPGConfig] = None,
+    exploration_scale: float = 0.3,
+    keep_replay: bool = False,
+) -> DDPGAgent:
+    """Create a new agent initialized from a trained source agent.
+
+    Parameters
+    ----------
+    source:
+        The trained general-case agent to transfer from.
+    config:
+        Configuration of the new agent; defaults to a copy of the source's
+        configuration.
+    exploration_scale:
+        Initial exploration-noise scale of the new agent.  Transferred
+        agents start with reduced exploration because the prior policy is
+        already close to competent.
+    keep_replay:
+        When True the source's replay buffer contents are carried over so
+        the new agent can keep learning from prior experience.
+
+    Returns
+    -------
+    DDPGAgent
+        A new agent whose networks are initialized from ``source``.
+    """
+    new_config = config if config is not None else DDPGConfig(**vars(source.config))
+    if (
+        new_config.state_dim != source.config.state_dim
+        or new_config.action_dim != source.config.action_dim
+    ):
+        raise ValueError("transfer requires matching state/action dimensions")
+    agent = DDPGAgent(new_config)
+    agent.load_state_dict(source.state_dict())
+    agent.exploration_scale = float(exploration_scale)
+    if keep_replay:
+        for transition in source.replay_buffer._storage:  # noqa: SLF001 - intentional reuse
+            agent.replay_buffer.add(transition)
+    return agent

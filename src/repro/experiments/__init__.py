@@ -1,0 +1,10 @@
+"""Experiment harnesses reproducing the paper's tables and figures.
+
+Each module regenerates one table or figure from the evaluation; the
+per-experiment index in ``DESIGN.md`` maps paper artefacts to modules and
+benchmark targets.
+"""
+
+from repro.experiments.harness import ExperimentHarness, ExperimentResult
+
+__all__ = ["ExperimentHarness", "ExperimentResult"]

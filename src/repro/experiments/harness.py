@@ -1,0 +1,260 @@
+"""Experiment harness: builds and runs full end-to-end scenarios.
+
+The harness wires together one benchmark application, the simulated
+cluster, tracing, telemetry, workload generation, anomaly injection, and a
+resource-management controller (FIRM, Kubernetes autoscaling, AIMD, or
+none), and runs the scenario for a configured duration while collecting
+SLO statistics and mitigation times.  Every per-figure experiment module is
+a thin layer over this harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.anomaly.campaigns import AnomalyCampaign
+from repro.anomaly.injector import PerformanceAnomalyInjector
+from repro.apps.catalog import build_application
+from repro.apps.graph import ServiceGraph
+from repro.apps.runtime import ApplicationRuntime
+from repro.baselines.aimd import AIMDController
+from repro.baselines.kubernetes_hpa import KubernetesAutoscaler
+from repro.cluster.cluster import Cluster
+from repro.cluster.orchestrator import Orchestrator
+from repro.cluster.resources import Resource
+from repro.cluster.telemetry import TelemetryCollector
+from repro.core.firm import FIRMConfig, FIRMController
+from repro.metrics.latency import LatencyStats
+from repro.metrics.slo import MitigationTracker, SLOTracker
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+from repro.tracing.coordinator import TracingCoordinator
+from repro.workload.generators import WorkloadGenerator
+from repro.workload.patterns import ArrivalPattern, ConstantPattern
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregate outcome of one harness run."""
+
+    application: str
+    controller: str
+    duration_s: float
+    slo: SLOTracker
+    latency: LatencyStats
+    mitigation: MitigationTracker
+    requested_cpu_samples: List[float] = field(default_factory=list)
+    cluster_cpu_utilization_samples: List[float] = field(default_factory=list)
+    dropped_requests: int = 0
+
+    @property
+    def mean_requested_cpu(self) -> float:
+        """Mean total requested CPU limit over the run (Fig. 10(b))."""
+        if not self.requested_cpu_samples:
+            return 0.0
+        return float(sum(self.requested_cpu_samples) / len(self.requested_cpu_samples))
+
+    @property
+    def mean_cluster_cpu_utilization(self) -> float:
+        """Mean cluster-level CPU utilization over the run."""
+        if not self.cluster_cpu_utilization_samples:
+            return 0.0
+        return float(
+            sum(self.cluster_cpu_utilization_samples)
+            / len(self.cluster_cpu_utilization_samples)
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for reports."""
+        return {
+            "completed": float(self.slo.completed),
+            "violations": float(self.slo.violations),
+            "violation_rate": self.slo.violation_rate,
+            "dropped": float(self.dropped_requests),
+            "p50_ms": self.latency.median,
+            "p99_ms": self.latency.p99,
+            "mean_requested_cpu": self.mean_requested_cpu,
+            "mean_mitigation_time_s": self.mitigation.mean_mitigation_time_s(),
+        }
+
+
+class ExperimentHarness:
+    """One fully wired scenario: app + cluster + workload + controller."""
+
+    def __init__(
+        self,
+        app: ServiceGraph,
+        engine: SimulationEngine,
+        rng: SeededRNG,
+    ) -> None:
+        self.app = app
+        self.engine = engine
+        self.rng = rng
+        self.cluster = Cluster(engine, rng)
+        self.telemetry = TelemetryCollector(self.cluster, engine)
+        self.coordinator = TracingCoordinator(engine, telemetry=self.telemetry)
+        self.runtime = ApplicationRuntime(app, self.cluster, self.coordinator, engine)
+        self.orchestrator = Orchestrator(self.cluster, engine, rng)
+        self.workload: Optional[WorkloadGenerator] = None
+        self.injector: Optional[PerformanceAnomalyInjector] = None
+        self.controller = None
+        self.controller_name = "none"
+        self.firm: Optional[FIRMController] = None
+
+    # ----------------------------------------------------------------- build
+    @classmethod
+    def build(cls, application: str = "social_network", seed: int = 0) -> "ExperimentHarness":
+        """Build a harness for one of the four benchmark applications."""
+        engine = SimulationEngine()
+        rng = SeededRNG(seed)
+        app = build_application(application)
+        harness = cls(app, engine, rng)
+        harness.runtime.deploy()
+        harness.telemetry.start()
+        return harness
+
+    # ------------------------------------------------------------ controllers
+    def attach_firm(self, config: Optional[FIRMConfig] = None) -> FIRMController:
+        """Manage the cluster with FIRM."""
+        self.firm = FIRMController(
+            self.cluster,
+            self.coordinator,
+            self.orchestrator,
+            self.engine,
+            config=config,
+        )
+        self.controller = self.firm
+        self.controller_name = "firm"
+        return self.firm
+
+    def attach_kubernetes_autoscaler(self, **kwargs) -> KubernetesAutoscaler:
+        """Manage the cluster with the Kubernetes HPA baseline."""
+        self.controller = KubernetesAutoscaler(
+            self.cluster, self.coordinator, self.orchestrator, self.engine, **kwargs
+        )
+        self.controller_name = "k8s"
+        return self.controller
+
+    def attach_aimd(self, **kwargs) -> AIMDController:
+        """Manage the cluster with the AIMD baseline."""
+        self.controller = AIMDController(
+            self.cluster, self.coordinator, self.orchestrator, self.engine, **kwargs
+        )
+        self.controller_name = "aimd"
+        return self.controller
+
+    # --------------------------------------------------------------- workload
+    def attach_workload(
+        self,
+        pattern: Optional[ArrivalPattern] = None,
+        load_rps: float = 100.0,
+        request_mix: Optional[Sequence] = None,
+    ) -> WorkloadGenerator:
+        """Attach an open-loop workload generator."""
+        if pattern is None:
+            pattern = ConstantPattern(rate=load_rps)
+        self.workload = WorkloadGenerator(
+            self.runtime, self.engine, self.rng, pattern=pattern, request_mix=request_mix
+        )
+        return self.workload
+
+    def attach_injector(
+        self, campaign: Optional[AnomalyCampaign] = None
+    ) -> PerformanceAnomalyInjector:
+        """Attach the anomaly injector (optionally pre-loading a campaign)."""
+        self.injector = PerformanceAnomalyInjector(
+            self.cluster, self.engine, workload=self.workload
+        )
+        if campaign is not None:
+            self.injector.schedule_all(campaign.specs)
+        return self.injector
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        duration_s: float = 120.0,
+        load_rps: Optional[float] = None,
+        sample_period_s: float = 1.0,
+        warmup_s: float = 0.0,
+    ) -> ExperimentResult:
+        """Run the scenario for ``duration_s`` simulated seconds.
+
+        ``warmup_s`` seconds at the start are excluded from SLO accounting
+        (the cluster starts empty, so the first requests see cold queues).
+        """
+        if self.workload is None:
+            self.attach_workload(load_rps=load_rps if load_rps is not None else 100.0)
+        elif load_rps is not None:
+            self.workload.pattern = ConstantPattern(rate=load_rps)
+
+        slo_tracker = SLOTracker(dict(self.coordinator.slo_latency_ms))
+        mitigation = MitigationTracker()
+        requested_cpu: List[float] = []
+        cpu_utilization: List[float] = []
+        start_time = self.engine.now
+        accounting_start = start_time + warmup_s
+
+        def _sample(engine: SimulationEngine) -> None:
+            requested_cpu.append(self.cluster.total_requested_cpu())
+            cpu_utilization.append(self.cluster.cluster_cpu_utilization())
+            violating = self.coordinator.has_slo_violation(5.0)
+            mitigation.update(engine.now, violating)
+
+        self.engine.schedule_recurring(sample_period_s, _sample, name="harness-sample")
+
+        if self.controller is not None:
+            self.controller.start()
+        self.workload.start(duration_s=duration_s)
+        self.engine.run_until(start_time + duration_s)
+        mitigation.close(self.engine.now)
+
+        for trace in self.coordinator.store.all_traces():
+            if (trace.arrival_time or 0.0) < accounting_start:
+                continue
+            slo_tracker.observe(trace)
+
+        latency = LatencyStats.from_samples(slo_tracker.latencies_ms)
+        return ExperimentResult(
+            application=self.app.name,
+            controller=self.controller_name,
+            duration_s=duration_s,
+            slo=slo_tracker,
+            latency=latency,
+            mitigation=mitigation,
+            requested_cpu_samples=requested_cpu,
+            cluster_cpu_utilization_samples=cpu_utilization,
+            dropped_requests=self.runtime.dropped_requests,
+        )
+
+
+def run_comparison(
+    application: str,
+    duration_s: float,
+    load_rps: float,
+    campaign_builder,
+    seed: int = 0,
+    controllers: Sequence[str] = ("firm", "aimd", "k8s"),
+) -> Dict[str, ExperimentResult]:
+    """Run the same scenario under each controller (plus anomaly campaign).
+
+    ``campaign_builder(harness)`` must return an
+    :class:`~repro.anomaly.campaigns.AnomalyCampaign` (or None) for the
+    freshly built harness, so each controller sees an identical schedule.
+    """
+    results: Dict[str, ExperimentResult] = {}
+    for controller in controllers:
+        harness = ExperimentHarness.build(application=application, seed=seed)
+        harness.attach_workload(load_rps=load_rps)
+        campaign = campaign_builder(harness) if campaign_builder is not None else None
+        harness.attach_injector(campaign)
+        if controller == "firm":
+            harness.attach_firm()
+        elif controller == "aimd":
+            harness.attach_aimd()
+        elif controller == "k8s":
+            harness.attach_kubernetes_autoscaler()
+        elif controller != "none":
+            raise ValueError(f"unknown controller {controller!r}")
+        results[controller] = harness.run(duration_s=duration_s, load_rps=load_rps)
+    return results

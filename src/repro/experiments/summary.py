@@ -1,0 +1,100 @@
+"""Headline-number summary (§1 / §4.4 of the paper).
+
+Aggregates the Fig. 9/10/11 experiments into the paper's headline claims:
+
+* SLO-violation reduction versus Kubernetes autoscaling and AIMD;
+* requested-CPU reduction;
+* tail-latency (performance predictability) improvement;
+* localization accuracy;
+* mitigation-time speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments.fig9_localization import run_fig9b_for_application
+from repro.experiments.fig10_end_to_end import Fig10Result, run_fig10
+from repro.experiments.fig11_rl_training import MitigationComparison, run_fig11b
+
+
+@dataclass
+class HeadlineNumbers:
+    """The reproduction's headline numbers next to the paper's claims."""
+
+    slo_violation_factor_vs_k8s: float
+    slo_violation_factor_vs_aimd: float
+    p99_factor_vs_k8s: float
+    requested_cpu_reduction_vs_k8s: float
+    localization_accuracy: float
+    mitigation_speedup_vs_aimd: float
+    mitigation_speedup_vs_k8s: float
+
+    #: Paper-reported values for side-by-side comparison.
+    PAPER = {
+        "slo_violation_factor_vs_k8s": 16.7,
+        "slo_violation_factor_vs_aimd": 9.8,
+        "p99_factor_vs_k8s": 11.5,
+        "requested_cpu_reduction_vs_k8s": 0.623,
+        "localization_accuracy": 0.938,
+        "mitigation_speedup_vs_aimd": 9.6,
+        "mitigation_speedup_vs_k8s": 30.1,
+    }
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "slo_violation_factor_vs_k8s": self.slo_violation_factor_vs_k8s,
+            "slo_violation_factor_vs_aimd": self.slo_violation_factor_vs_aimd,
+            "p99_factor_vs_k8s": self.p99_factor_vs_k8s,
+            "requested_cpu_reduction_vs_k8s": self.requested_cpu_reduction_vs_k8s,
+            "localization_accuracy": self.localization_accuracy,
+            "mitigation_speedup_vs_aimd": self.mitigation_speedup_vs_aimd,
+            "mitigation_speedup_vs_k8s": self.mitigation_speedup_vs_k8s,
+        }
+
+    def comparison_rows(self):
+        """(metric, paper value, measured value) rows for EXPERIMENTS.md."""
+        measured = self.as_dict()
+        return [
+            {"metric": key, "paper": self.PAPER[key], "measured": round(value, 3)}
+            for key, value in measured.items()
+        ]
+
+
+def run_summary(
+    fig10: Optional[Fig10Result] = None,
+    fig11b: Optional[MitigationComparison] = None,
+    localization_accuracy: Optional[float] = None,
+    quick: bool = True,
+) -> HeadlineNumbers:
+    """Compute the headline numbers (running the experiments when not given).
+
+    ``quick`` shrinks durations so the summary completes in a couple of
+    minutes of wall-clock time; the full-scale run uses the experiment
+    modules' defaults.
+    """
+    if fig10 is None:
+        fig10 = run_fig10(
+            duration_s=90.0 if quick else 180.0,
+            load_rps=50.0 if quick else 80.0,
+            include_multi_rl=False,
+        )
+    if fig11b is None:
+        fig11b = run_fig11b(episodes=4 if quick else 8)
+    if localization_accuracy is None:
+        localization_accuracy = run_fig9b_for_application(
+            "social_network", windows=5 if quick else 10
+        ).accuracy
+
+    vs_k8s = fig10.improvement_over("k8s")
+    vs_aimd = fig10.improvement_over("aimd")
+    return HeadlineNumbers(
+        slo_violation_factor_vs_k8s=vs_k8s["violation_factor"],
+        slo_violation_factor_vs_aimd=vs_aimd["violation_factor"],
+        p99_factor_vs_k8s=vs_k8s["p99_factor"],
+        requested_cpu_reduction_vs_k8s=vs_k8s["requested_cpu_reduction"],
+        localization_accuracy=localization_accuracy,
+        mitigation_speedup_vs_aimd=fig11b.speedup_vs_aimd(),
+        mitigation_speedup_vs_k8s=fig11b.speedup_vs_k8s(),
+    )

@@ -1,0 +1,6 @@
+"""Metrics: latency statistics, CDFs, and SLO accounting."""
+
+from repro.metrics.latency import LatencyStats, cdf_points, percentile
+from repro.metrics.slo import MitigationTracker, SLOTracker
+
+__all__ = ["LatencyStats", "cdf_points", "percentile", "SLOTracker", "MitigationTracker"]

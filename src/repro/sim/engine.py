@@ -1,0 +1,208 @@
+"""A small but complete discrete-event simulation engine.
+
+The engine maintains a virtual clock and a priority queue of
+:class:`~repro.sim.events.Event` objects.  All substrates of the FIRM
+reproduction (cluster, workload generators, anomaly injector, controllers)
+schedule work on a shared engine so that request execution, telemetry
+sampling, and control actions interleave exactly as they would in wall-clock
+time on a real cluster.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.events import Event, EventOrderError
+
+
+class SimulationEngine:
+    """Event-queue simulator with a floating-point virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in seconds.
+
+    Examples
+    --------
+    >>> engine = SimulationEngine()
+    >>> fired = []
+    >>> _ = engine.schedule(1.0, lambda eng: fired.append(eng.now))
+    >>> engine.run_until(2.0)
+    >>> fired
+    [1.0]
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[Event] = []
+        self._processed = 0
+        self._stopped = False
+        self._trace_hooks: List[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------ clock
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # -------------------------------------------------------------- scheduling
+    def schedule(
+        self,
+        time: float,
+        callback: Callable[["SimulationEngine"], Any],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``.
+
+        Raises
+        ------
+        EventOrderError
+            If ``time`` is earlier than the current clock.
+        """
+        if time < self._now:
+            raise EventOrderError(
+                f"cannot schedule event {name!r} at t={time:.6f}; clock is at {self._now:.6f}"
+            )
+        event = Event(time=float(time), priority=priority, callback=callback, name=name)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[["SimulationEngine"], Any],
+        *,
+        priority: int = 0,
+        name: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after a relative ``delay`` (must be >= 0)."""
+        if delay < 0:
+            raise EventOrderError(f"negative delay {delay!r} for event {name!r}")
+        return self.schedule(self._now + delay, callback, priority=priority, name=name)
+
+    def schedule_recurring(
+        self,
+        interval: float,
+        callback: Callable[["SimulationEngine"], Any],
+        *,
+        start: Optional[float] = None,
+        priority: int = 0,
+        name: str = "",
+        until: Optional[float] = None,
+    ) -> Event:
+        """Schedule ``callback`` every ``interval`` seconds.
+
+        The returned event is the *first* occurrence; cancelling it stops the
+        whole recurrence.  Subsequent occurrences inherit the cancellation
+        flag from a small closure-held state cell.
+        """
+        if interval <= 0:
+            raise ValueError(f"recurring interval must be positive, got {interval}")
+        state: Dict[str, Any] = {"cancelled": False}
+        first_time = self._now + interval if start is None else start
+
+        def _tick(engine: "SimulationEngine") -> None:
+            if state["cancelled"]:
+                return
+            callback(engine)
+            next_time = engine.now + interval
+            if until is not None and next_time > until:
+                return
+            inner = engine.schedule(next_time, _tick, priority=priority, name=name)
+            state["current"] = inner
+
+        event = self.schedule(first_time, _tick, priority=priority, name=name)
+        state["current"] = event
+
+        original_cancel = event.cancel
+
+        def _cancel_all() -> None:
+            state["cancelled"] = True
+            current = state.get("current")
+            if current is not None:
+                current.cancelled = True
+            original_cancel()
+
+        event.cancel = _cancel_all  # type: ignore[method-assign]
+        return event
+
+    # ------------------------------------------------------------------ hooks
+    def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook invoked (with the event) after every executed event."""
+        self._trace_hooks.append(hook)
+
+    # -------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            if event.callback is not None:
+                event.callback(self)
+            self._processed += 1
+            for hook in self._trace_hooks:
+                hook(event)
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until the clock reaches ``end_time`` (inclusive).
+
+        Events scheduled exactly at ``end_time`` are executed; the clock is
+        left at ``end_time`` even if the queue drains earlier.
+        """
+        if end_time < self._now:
+            raise EventOrderError(
+                f"run_until({end_time}) is in the past; clock at {self._now}"
+            )
+        self._stopped = False
+        while self._queue and not self._stopped:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains or ``max_events`` events have executed."""
+        self._stopped = False
+        count = 0
+        while self._queue and not self._stopped:
+            if max_events is not None and count >= max_events:
+                break
+            if self.step():
+                count += 1
+
+    def stop(self) -> None:
+        """Request the current ``run``/``run_until`` loop to stop after this event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------ misc
+    def clear(self) -> None:
+        """Drop all pending events (the clock is preserved)."""
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SimulationEngine(now={self._now:.3f}, pending={len(self._queue)}, "
+            f"processed={self._processed})"
+        )

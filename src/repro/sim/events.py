@@ -1,0 +1,51 @@
+"""Event objects for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventOrderError(RuntimeError):
+    """Raised when an event is scheduled in the past of the simulation clock."""
+
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A unit of scheduled work.
+
+    Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
+    monotonically increasing counter that breaks ties deterministically so
+    that two events scheduled for the same instant always execute in the
+    order they were created.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    priority:
+        Lower values run earlier among events with equal ``time``.
+    callback:
+        Callable invoked as ``callback(engine)`` when the event fires.
+    name:
+        Optional human-readable label used in traces and error messages.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default_factory=lambda: next(_sequence))
+    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or (self.callback.__name__ if self.callback else "<none>")
+        return f"Event(t={self.time:.6f}, prio={self.priority}, name={label!r})"

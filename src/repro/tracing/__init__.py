@@ -1,0 +1,13 @@
+"""Distributed tracing substrate (the Jaeger/Zipkin + Neo4j substitute).
+
+Provides the span data model, per-request execution history graphs
+(traces), an in-memory graph store, and the Tracing Coordinator that the
+FIRM Extractor queries for critical-path and critical-component analysis.
+"""
+
+from repro.tracing.span import Span, SpanKind
+from repro.tracing.trace import Trace
+from repro.tracing.store import TraceStore
+from repro.tracing.coordinator import TracingCoordinator
+
+__all__ = ["Span", "SpanKind", "Trace", "TraceStore", "TracingCoordinator"]

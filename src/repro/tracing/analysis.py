@@ -1,0 +1,171 @@
+"""Offline trace analysis utilities.
+
+The paper's characterization study (§2) is built on 2 TB of collected
+traces: per-service latency distributions, critical-path frequency, and
+service dependency structure inferred from observed RPCs.  This module
+provides the equivalent analysis toolkit over the in-memory trace store,
+used by the characterization experiments (Figs. 3-5) and available to
+library users for their own studies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.core.critical_path import CriticalPath, CriticalPathExtractor
+from repro.metrics.latency import LatencyStats
+from repro.tracing.trace import Trace
+
+
+@dataclass
+class ServiceLatencyBreakdown:
+    """Per-service sojourn-time statistics across a set of traces."""
+
+    service: str
+    stats: LatencyStats
+    share_of_total: float
+
+    @property
+    def is_heavy(self) -> bool:
+        """Whether this service accounts for more than 20% of total latency."""
+        return self.share_of_total > 0.2
+
+
+def latency_breakdown(traces: Sequence[Trace]) -> List[ServiceLatencyBreakdown]:
+    """Per-service latency statistics and share of total latency.
+
+    The share is the service's summed sojourn time divided by the sum over
+    all services (not end-to-end time, which double-counts overlap).
+    """
+    per_service: Dict[str, List[float]] = defaultdict(list)
+    for trace in traces:
+        for span in trace.spans:
+            per_service[span.service].append(span.sojourn_time_ms)
+    grand_total = sum(sum(samples) for samples in per_service.values())
+    breakdown = []
+    for service, samples in sorted(per_service.items()):
+        share = sum(samples) / grand_total if grand_total > 0 else 0.0
+        breakdown.append(
+            ServiceLatencyBreakdown(
+                service=service,
+                stats=LatencyStats.from_samples(samples),
+                share_of_total=share,
+            )
+        )
+    breakdown.sort(key=lambda entry: entry.share_of_total, reverse=True)
+    return breakdown
+
+
+def critical_path_frequencies(traces: Sequence[Trace]) -> List[Tuple[Tuple[str, ...], int]]:
+    """How often each CP signature occurs, most frequent first.
+
+    The paper's Insight 1 is that CPs change dynamically; the number of
+    distinct signatures and their churn quantifies that.
+    """
+    extractor = CriticalPathExtractor()
+    counter: Counter = Counter()
+    for trace in traces:
+        if trace.root is None:
+            continue
+        counter[extractor.extract(trace).signature()] += 1
+    return counter.most_common()
+
+
+def critical_path_churn(traces: Sequence[Trace]) -> float:
+    """Fraction of consecutive requests whose CP signature differs.
+
+    0.0 means the CP is static across requests; values near 1.0 mean it
+    changes almost every request (high churn is what defeats static,
+    profile-based CP identification).
+    """
+    extractor = CriticalPathExtractor()
+    signatures = [
+        extractor.extract(trace).signature()
+        for trace in traces
+        if trace.root is not None
+    ]
+    if len(signatures) < 2:
+        return 0.0
+    changes = sum(1 for a, b in zip(signatures, signatures[1:]) if a != b)
+    return changes / (len(signatures) - 1)
+
+
+def observed_dependency_graph(traces: Sequence[Trace]) -> nx.DiGraph:
+    """Caller -> callee dependency graph inferred from observed spans.
+
+    Equivalent to reconstructing the service dependency graph (Fig. 2(a))
+    from tracing data alone, which is how FIRM stays application-agnostic.
+    """
+    graph = nx.DiGraph()
+    for trace in traces:
+        spans_by_id = {span.span_id: span for span in trace.spans}
+        for span in trace.spans:
+            graph.add_node(span.service)
+            if span.parent_id is not None and span.parent_id in spans_by_id:
+                parent = spans_by_id[span.parent_id]
+                if graph.has_edge(parent.service, span.service):
+                    graph[parent.service][span.service]["calls"] += 1
+                else:
+                    graph.add_edge(parent.service, span.service, calls=1)
+    return graph
+
+
+@dataclass
+class VariabilityReport:
+    """Which services contribute most to end-to-end latency variance.
+
+    The paper's Insight 2: the service with the highest latency is not
+    necessarily the best scaling target; the one with the highest variance
+    (explained) usually is.
+    """
+
+    highest_median: str
+    highest_variance: str
+    per_service_variance: Dict[str, float] = field(default_factory=dict)
+    per_service_median: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def median_and_variance_disagree(self) -> bool:
+        """True when the two heuristics point at different services."""
+        return self.highest_median != self.highest_variance
+
+
+def variability_report(traces: Sequence[Trace]) -> Optional[VariabilityReport]:
+    """Identify the highest-median and highest-variance services (Insight 2)."""
+    per_service: Dict[str, List[float]] = defaultdict(list)
+    for trace in traces:
+        for span in trace.spans:
+            per_service[span.service].append(span.sojourn_time_ms)
+    if not per_service:
+        return None
+    medians = {service: float(np.median(samples)) for service, samples in per_service.items()}
+    variances = {service: float(np.var(samples)) for service, samples in per_service.items()}
+    return VariabilityReport(
+        highest_median=max(medians, key=lambda s: medians[s]),
+        highest_variance=max(variances, key=lambda s: variances[s]),
+        per_service_variance=variances,
+        per_service_median=medians,
+    )
+
+
+def tail_amplification(traces: Sequence[Trace]) -> Dict[str, float]:
+    """Per-request-type ratio of p99 to median end-to-end latency.
+
+    Quantifies the "tail at scale" amplification the paper motivates with:
+    fan-out request types have larger amplification because any slow
+    parallel branch delays the whole request.
+    """
+    per_type: Dict[str, List[float]] = defaultdict(list)
+    for trace in traces:
+        if trace.is_complete:
+            per_type[trace.request_type].append(trace.end_to_end_latency_ms)
+    result = {}
+    for request_type, samples in sorted(per_type.items()):
+        stats = LatencyStats.from_samples(samples)
+        result[request_type] = stats.congestion_intensity
+    return result

@@ -1,0 +1,164 @@
+"""Tracing Coordinator.
+
+The coordinator (module 1 in the paper's Fig. 6 architecture) is the single
+collection point for spans and telemetry: application runtimes report spans
+as they complete, the telemetry collector reports per-container samples,
+and the Extractor / RL agent query the coordinator for recent traces,
+latency distributions, SLO-violation status, and workload statistics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.telemetry import TelemetryCollector
+from repro.sim.engine import SimulationEngine
+from repro.tracing.span import Span
+from repro.tracing.store import TraceStore
+from repro.tracing.trace import Trace
+
+
+class TracingCoordinator:
+    """Collects traces + telemetry and answers the Extractor's queries.
+
+    Parameters
+    ----------
+    engine:
+        Shared simulation engine (provides the clock for windowed queries).
+    telemetry:
+        Optional telemetry collector to expose alongside traces.
+    store_capacity:
+        Bound on the number of retained traces.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        telemetry: Optional[TelemetryCollector] = None,
+        store_capacity: int = 50_000,
+    ) -> None:
+        self.engine = engine
+        self.telemetry = telemetry
+        self.store = TraceStore(capacity=store_capacity)
+        #: SLO latency per request type (ms); registered by the runtime.
+        self.slo_latency_ms: Dict[str, float] = {}
+        #: Completion timestamps per request type, for arrival-rate estimation.
+        self._arrivals: Deque[Tuple[float, str]] = deque(maxlen=100_000)
+
+    # --------------------------------------------------------------- ingest
+    def register_slo(self, request_type: str, slo_latency_ms: float) -> None:
+        """Register the latency SLO for one request type."""
+        self.slo_latency_ms[request_type] = float(slo_latency_ms)
+
+    def begin_trace(self, request_id: str, request_type: str, arrival_time: float) -> Trace:
+        """Create a trace for a newly arrived request."""
+        trace = Trace(request_id, request_type)
+        trace.arrival_time = arrival_time
+        self.store.add(trace)
+        self._arrivals.append((arrival_time, request_type))
+        return trace
+
+    def record_span(self, trace: Trace, span: Span) -> None:
+        """Attach a completed span to its trace."""
+        trace.add_span(span)
+
+    def complete_trace(self, trace: Trace, completion_time: float) -> None:
+        """Mark the request's response as sent to the client."""
+        trace.mark_complete(completion_time)
+
+    def drop_trace(self, trace: Trace) -> None:
+        """Mark the request as dropped."""
+        trace.mark_dropped()
+
+    # ----------------------------------------------------------------- stats
+    def recent_traces(
+        self,
+        window_s: float,
+        request_type: Optional[str] = None,
+    ) -> List[Trace]:
+        """Completed traces that arrived in the last ``window_s`` seconds."""
+        since = self.engine.now - window_s
+        return self.store.completed_traces(request_type=request_type, since=since)
+
+    def latency_percentile_ms(
+        self, percentile: float, window_s: float, request_type: Optional[str] = None
+    ) -> float:
+        """Latency percentile (ms) over the recent window (0 when empty)."""
+        latencies = [t.end_to_end_latency_ms for t in self.recent_traces(window_s, request_type)]
+        if not latencies:
+            return 0.0
+        return float(np.percentile(latencies, percentile))
+
+    def arrival_rate(self, window_s: float, request_type: Optional[str] = None) -> float:
+        """Request arrival rate (requests/second) over the recent window."""
+        since = self.engine.now - window_s
+        count = sum(
+            1
+            for time, rtype in self._arrivals
+            if time >= since and (request_type is None or rtype == request_type)
+        )
+        return count / window_s if window_s > 0 else 0.0
+
+    def request_composition(self, window_s: float) -> Dict[str, float]:
+        """Fraction of arrivals per request type over the recent window."""
+        since = self.engine.now - window_s
+        counts: Dict[str, int] = defaultdict(int)
+        for time, rtype in self._arrivals:
+            if time >= since:
+                counts[rtype] += 1
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {rtype: count / total for rtype, count in sorted(counts.items())}
+
+    # ------------------------------------------------------- SLO accounting
+    def slo_violations(self, window_s: float) -> List[Trace]:
+        """Completed traces in the window whose latency exceeds their SLO."""
+        violations: List[Trace] = []
+        for trace in self.recent_traces(window_s):
+            slo = self.slo_latency_ms.get(trace.request_type)
+            if slo is not None and trace.end_to_end_latency_ms > slo:
+                violations.append(trace)
+        return violations
+
+    def slo_violation_ratio(self, window_s: float) -> float:
+        """Fraction of recent completed requests that violated their SLO."""
+        traces = self.recent_traces(window_s)
+        if not traces:
+            return 0.0
+        return len(self.slo_violations(window_s)) / len(traces)
+
+    def has_slo_violation(self, window_s: float, percentile: float = 99.0) -> bool:
+        """Detection check: does the windowed tail latency exceed any SLO?
+
+        The paper's Extractor is triggered when SLO violations are detected;
+        we use the per-request-type tail latency versus the SLO.
+        """
+        for request_type, slo in self.slo_latency_ms.items():
+            tail = self.latency_percentile_ms(percentile, window_s, request_type)
+            if tail > slo:
+                return True
+        return False
+
+    def per_service_latencies_ms(
+        self, window_s: float, request_type: Optional[str] = None
+    ) -> Dict[str, List[float]]:
+        """Per-service sojourn-time samples (ms) from recent traces."""
+        result: Dict[str, List[float]] = defaultdict(list)
+        for trace in self.recent_traces(window_s, request_type):
+            for span in trace.spans:
+                result[span.service].append(span.sojourn_time_ms)
+        return dict(result)
+
+    def per_instance_latencies_ms(
+        self, window_s: float, request_type: Optional[str] = None
+    ) -> Dict[str, List[float]]:
+        """Per-instance sojourn-time samples (ms) from recent traces."""
+        result: Dict[str, List[float]] = defaultdict(list)
+        for trace in self.recent_traces(window_s, request_type):
+            for span in trace.spans:
+                result[span.instance].append(span.sojourn_time_ms)
+        return dict(result)

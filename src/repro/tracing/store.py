@@ -1,0 +1,103 @@
+"""In-memory trace store (the graph-database substitute).
+
+The paper stores execution history graphs in Neo4j; here a bounded
+in-memory store indexes traces by request id, request type, and completion
+time so the Extractor can query "recent traces of type X" efficiently.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, defaultdict
+from typing import Dict, List, Optional
+
+from repro.tracing.trace import Trace
+
+
+class TraceStore:
+    """Bounded, time-indexed store of completed and in-flight traces.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of traces retained; the oldest completed traces are
+        evicted first when the bound is exceeded.
+    """
+
+    def __init__(self, capacity: int = 50_000) -> None:
+        self.capacity = int(capacity)
+        self._traces: "OrderedDict[str, Trace]" = OrderedDict()
+        self._by_type: Dict[str, List[str]] = defaultdict(list)
+
+    # --------------------------------------------------------------- mutation
+    def add(self, trace: Trace) -> None:
+        """Insert a trace (idempotent for the same request id)."""
+        if trace.request_id in self._traces:
+            return
+        self._traces[trace.request_id] = trace
+        self._by_type[trace.request_type].append(trace.request_id)
+        self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        while len(self._traces) > self.capacity:
+            request_id, trace = self._traces.popitem(last=False)
+            ids = self._by_type.get(trace.request_type)
+            if ids and request_id in ids:
+                ids.remove(request_id)
+
+    # ---------------------------------------------------------------- queries
+    def get(self, request_id: str) -> Optional[Trace]:
+        """Fetch a trace by request id (None when absent or evicted)."""
+        return self._traces.get(request_id)
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def all_traces(self) -> List[Trace]:
+        """Every stored trace, oldest first."""
+        return list(self._traces.values())
+
+    def completed_traces(
+        self,
+        request_type: Optional[str] = None,
+        since: Optional[float] = None,
+        limit: Optional[int] = None,
+    ) -> List[Trace]:
+        """Completed traces, optionally filtered by type and arrival time."""
+        if request_type is None:
+            candidates = list(self._traces.values())
+        else:
+            candidates = [
+                self._traces[rid]
+                for rid in self._by_type.get(request_type, [])
+                if rid in self._traces
+            ]
+        selected = [
+            trace
+            for trace in candidates
+            if trace.is_complete
+            and (since is None or (trace.arrival_time or 0.0) >= since)
+        ]
+        if limit is not None:
+            selected = selected[-limit:]
+        return selected
+
+    def dropped_count(self, since: Optional[float] = None) -> int:
+        """Number of dropped requests (optionally restricted to arrivals >= since)."""
+        return sum(
+            1
+            for trace in self._traces.values()
+            if trace.dropped and (since is None or (trace.arrival_time or 0.0) >= since)
+        )
+
+    def request_types(self) -> List[str]:
+        """Request types observed so far."""
+        return sorted(self._by_type)
+
+    def latencies_ms(
+        self, request_type: Optional[str] = None, since: Optional[float] = None
+    ) -> List[float]:
+        """End-to-end latencies (ms) of completed traces matching the filter."""
+        return [
+            trace.end_to_end_latency_ms
+            for trace in self.completed_traces(request_type=request_type, since=since)
+        ]

@@ -1,0 +1,26 @@
+"""Workload generation (the wrk2 substitute).
+
+Open-loop workload generators drive the benchmark applications with
+constant, diurnal, exponentially distributed, and spiky load, matching the
+load shapes the paper uses for evaluation (§4.1).
+"""
+
+from repro.workload.patterns import (
+    ArrivalPattern,
+    ConstantPattern,
+    DiurnalPattern,
+    ExponentialRampPattern,
+    SpikePattern,
+    StepPattern,
+)
+from repro.workload.generators import WorkloadGenerator
+
+__all__ = [
+    "ArrivalPattern",
+    "ConstantPattern",
+    "DiurnalPattern",
+    "ExponentialRampPattern",
+    "SpikePattern",
+    "StepPattern",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,121 @@
+"""Open-loop workload generator.
+
+The generator schedules request arrivals against an
+:class:`~repro.apps.runtime.ApplicationRuntime` following a configurable
+arrival pattern.  Arrivals are open-loop (a non-homogeneous Poisson process
+thinned to the instantaneous target rate) so that slow responses do not
+reduce offered load — the behaviour of wrk2 that exposes queueing collapse.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.runtime import ApplicationRuntime
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+from repro.workload.patterns import ArrivalPattern, ConstantPattern
+
+
+class WorkloadGenerator:
+    """Drives one application with an open-loop arrival process.
+
+    Parameters
+    ----------
+    runtime:
+        The deployed application runtime to send requests to.
+    engine:
+        Shared simulation engine.
+    rng:
+        Seeded RNG family; arrivals draw from the ``"workload:<app>"`` stream.
+    pattern:
+        Arrival-rate pattern (defaults to a constant 100 req/s).
+    request_mix:
+        Optional explicit ``(request_type, probability)`` pairs; defaults to
+        the application's declared mix.
+    """
+
+    def __init__(
+        self,
+        runtime: ApplicationRuntime,
+        engine: SimulationEngine,
+        rng: SeededRNG,
+        pattern: Optional[ArrivalPattern] = None,
+        request_mix: Optional[Sequence[Tuple[str, float]]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.engine = engine
+        self.rng = rng
+        self.pattern = pattern if pattern is not None else ConstantPattern(rate=100.0)
+        if request_mix is None:
+            request_mix = runtime.app.request_mix()
+        total = sum(weight for _, weight in request_mix)
+        if total <= 0:
+            raise ValueError("request mix weights must sum to a positive value")
+        self.request_mix: List[Tuple[str, float]] = [
+            (name, weight / total) for name, weight in request_mix
+        ]
+        self._running = False
+        self._stop_time: Optional[float] = None
+        self.generated_requests = 0
+        self.per_type_counts: Dict[str, int] = {name: 0 for name, _ in self.request_mix}
+
+    # ------------------------------------------------------------------ run
+    def start(self, duration_s: Optional[float] = None) -> None:
+        """Begin generating arrivals; optionally stop after ``duration_s``."""
+        if self._running:
+            return
+        self._running = True
+        self._stop_time = None if duration_s is None else self.engine.now + duration_s
+        self._schedule_next_arrival()
+
+    def stop(self) -> None:
+        """Stop generating new arrivals (in-flight requests still finish)."""
+        self._running = False
+
+    def _schedule_next_arrival(self) -> None:
+        if not self._running:
+            return
+        rate = max(self.pattern.rate_at(self.engine.now), 1e-9)
+        stream = self.rng.stream(f"workload:{self.runtime.app.name}")
+        gap = float(stream.exponential(1.0 / rate))
+        # Keep inter-arrival gaps bounded so a near-zero rate does not stall
+        # the generator forever: re-evaluate the pattern at least every 5 s.
+        gap = min(gap, 5.0)
+        next_time = self.engine.now + gap
+        if self._stop_time is not None and next_time > self._stop_time:
+            self._running = False
+            return
+        self.engine.schedule(next_time, self._fire_arrival, name="workload-arrival")
+
+    def _fire_arrival(self, engine: SimulationEngine) -> None:
+        if not self._running:
+            return
+        rate = self.pattern.rate_at(engine.now)
+        if rate > 0:
+            self._submit_one()
+        self._schedule_next_arrival()
+
+    def _submit_one(self) -> None:
+        names = [name for name, _ in self.request_mix]
+        probs = [weight for _, weight in self.request_mix]
+        request_type = self.rng.choice(
+            f"workload-mix:{self.runtime.app.name}", names, p=probs
+        )
+        self.runtime.submit_request(request_type)
+        self.generated_requests += 1
+        self.per_type_counts[request_type] = self.per_type_counts.get(request_type, 0) + 1
+
+    # -------------------------------------------------------------- metrics
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    def observed_mix(self) -> Dict[str, float]:
+        """Empirical request-type mix generated so far."""
+        if self.generated_requests == 0:
+            return {}
+        return {
+            name: count / self.generated_requests
+            for name, count in sorted(self.per_type_counts.items())
+        }

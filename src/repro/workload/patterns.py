@@ -1,0 +1,126 @@
+"""Arrival-rate patterns for open-loop load generation.
+
+Each pattern maps simulation time to a target arrival rate (requests per
+second).  The paper drives its benchmarks with constant, diurnal,
+exponential, and spiky load shapes; all four are provided, plus a stepped
+sweep used by the scale-up/scale-out trade-off experiment (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+class ArrivalPattern:
+    """Base class: maps simulation time (s) to an arrival rate (req/s)."""
+
+    def rate_at(self, time_s: float) -> float:
+        """Target arrival rate at ``time_s``; must be non-negative."""
+        raise NotImplementedError
+
+    def mean_rate(self, duration_s: float, samples: int = 200) -> float:
+        """Numerical mean rate over ``[0, duration_s]`` (for reporting)."""
+        if duration_s <= 0:
+            return 0.0
+        step = duration_s / samples
+        total = sum(self.rate_at(i * step) for i in range(samples))
+        return total / samples
+
+
+@dataclass
+class ConstantPattern(ArrivalPattern):
+    """Constant arrival rate."""
+
+    rate: float
+
+    def rate_at(self, time_s: float) -> float:
+        return max(0.0, self.rate)
+
+
+@dataclass
+class DiurnalPattern(ArrivalPattern):
+    """Sinusoidal day/night pattern.
+
+    ``rate(t) = base + amplitude * sin(2*pi*t / period)`` clipped at zero.
+    """
+
+    base_rate: float
+    amplitude: float
+    period_s: float = 86_400.0
+    phase_s: float = 0.0
+
+    def rate_at(self, time_s: float) -> float:
+        value = self.base_rate + self.amplitude * math.sin(
+            2.0 * math.pi * (time_s + self.phase_s) / self.period_s
+        )
+        return max(0.0, value)
+
+
+@dataclass
+class ExponentialRampPattern(ArrivalPattern):
+    """Exponentially growing (or decaying) load.
+
+    ``rate(t) = initial_rate * exp(growth_per_s * t)``, capped at ``max_rate``.
+    """
+
+    initial_rate: float
+    growth_per_s: float
+    max_rate: float = float("inf")
+
+    def rate_at(self, time_s: float) -> float:
+        value = self.initial_rate * math.exp(self.growth_per_s * time_s)
+        return max(0.0, min(value, self.max_rate))
+
+
+@dataclass
+class SpikePattern(ArrivalPattern):
+    """Base load with rectangular spikes.
+
+    Attributes
+    ----------
+    base_rate:
+        Load outside spikes.
+    spikes:
+        Sequence of ``(start_s, duration_s, rate)`` triples; during a spike
+        the rate is the spike's rate (not additive).
+    """
+
+    base_rate: float
+    spikes: Sequence[Tuple[float, float, float]] = field(default_factory=list)
+
+    def rate_at(self, time_s: float) -> float:
+        for start, duration, rate in self.spikes:
+            if start <= time_s < start + duration:
+                return max(0.0, rate)
+        return max(0.0, self.base_rate)
+
+
+@dataclass
+class StepPattern(ArrivalPattern):
+    """Piecewise-constant load sweep (used by the Fig. 5 load sweep).
+
+    Attributes
+    ----------
+    steps:
+        Sequence of ``(duration_s, rate)`` pairs applied in order; after the
+        last step the final rate persists.
+    """
+
+    steps: Sequence[Tuple[float, float]]
+
+    def rate_at(self, time_s: float) -> float:
+        elapsed = 0.0
+        rate = 0.0
+        for duration, step_rate in self.steps:
+            rate = step_rate
+            if time_s < elapsed + duration:
+                return max(0.0, step_rate)
+            elapsed += duration
+        return max(0.0, rate)
+
+    @classmethod
+    def sweep(cls, rates: Sequence[float], step_duration_s: float) -> "StepPattern":
+        """Equal-duration sweep across ``rates``."""
+        return cls(steps=[(step_duration_s, rate) for rate in rates])

@@ -1,0 +1,95 @@
+"""Shared fixtures for the FIRM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import social_network
+from repro.apps.runtime import ApplicationRuntime
+from repro.cluster.cluster import Cluster
+from repro.cluster.instance import ServiceProfile
+from repro.cluster.orchestrator import Orchestrator
+from repro.cluster.resources import Resource, ResourceVector
+from repro.cluster.telemetry import TelemetryCollector
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+from repro.tracing.coordinator import TracingCoordinator
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    """A fresh simulation engine starting at t=0."""
+    return SimulationEngine()
+
+
+@pytest.fixture
+def rng() -> SeededRNG:
+    """A deterministic RNG family."""
+    return SeededRNG(1234)
+
+
+@pytest.fixture
+def cluster(engine, rng) -> Cluster:
+    """A default 15-node cluster."""
+    return Cluster(engine, rng)
+
+
+@pytest.fixture
+def small_cluster(engine, rng) -> Cluster:
+    """A 2-node cluster for placement-sensitive tests."""
+    specs = Cluster.default_node_specs(x86_nodes=1, ppc64_nodes=1)
+    return Cluster(engine, rng, node_specs=specs)
+
+
+@pytest.fixture
+def cpu_profile() -> ServiceProfile:
+    """A CPU-bound service profile."""
+    return ServiceProfile(
+        name="cpu-service",
+        base_service_time_ms=5.0,
+        resource_weights={Resource.CPU: 1.0},
+        demand_per_request=ResourceVector.from_kwargs(cpu=0.5),
+    )
+
+
+@pytest.fixture
+def memory_profile() -> ServiceProfile:
+    """A memory-bandwidth-bound service profile."""
+    return ServiceProfile(
+        name="memory-service",
+        base_service_time_ms=2.0,
+        resource_weights={Resource.MEMORY_BANDWIDTH: 0.9, Resource.CPU: 0.2},
+        demand_per_request=ResourceVector.from_kwargs(cpu=0.2, memory_bandwidth=1.0),
+    )
+
+
+@pytest.fixture
+def coordinator(engine) -> TracingCoordinator:
+    """A tracing coordinator without telemetry."""
+    return TracingCoordinator(engine)
+
+
+@pytest.fixture
+def orchestrator(cluster, engine, rng) -> Orchestrator:
+    """An orchestrator over the default cluster."""
+    return Orchestrator(cluster, engine, rng)
+
+
+@pytest.fixture
+def deployed_social_network(engine, rng):
+    """A deployed Social Network application with coordinator and runtime."""
+    cluster = Cluster(engine, rng)
+    telemetry = TelemetryCollector(cluster, engine)
+    coordinator = TracingCoordinator(engine, telemetry=telemetry)
+    app = social_network()
+    runtime = ApplicationRuntime(app, cluster, coordinator, engine)
+    runtime.deploy()
+    return {
+        "app": app,
+        "cluster": cluster,
+        "coordinator": coordinator,
+        "runtime": runtime,
+        "engine": engine,
+        "rng": rng,
+        "telemetry": telemetry,
+    }

@@ -1,0 +1,201 @@
+"""Unit tests for anomaly types, the injector, and campaigns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anomaly.anomalies import (
+    ANOMALY_RESOURCE,
+    ANOMALY_TYPES,
+    AnomalySpec,
+    AnomalyType,
+)
+from repro.anomaly.campaigns import (
+    AnomalyCampaign,
+    multi_anomaly_campaign,
+    random_campaign,
+    single_anomaly_sweep,
+)
+from repro.anomaly.injector import PerformanceAnomalyInjector
+from repro.cluster.resources import Resource, ResourceVector, default_node_capacity
+from repro.sim.rng import SeededRNG
+
+
+class TestAnomalySpec:
+    def test_seven_anomaly_types(self):
+        assert len(ANOMALY_TYPES) == 7
+
+    def test_every_type_has_resource_mapping(self):
+        assert set(ANOMALY_RESOURCE) == set(ANOMALY_TYPES)
+
+    def test_workload_variation_has_no_resource(self):
+        assert ANOMALY_RESOURCE[AnomalyType.WORKLOAD_VARIATION] is None
+
+    def test_invalid_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalySpec(AnomalyType.CPU_UTILIZATION, "svc", start_s=0.0, duration_s=1.0, intensity=1.5)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalySpec(AnomalyType.CPU_UTILIZATION, "svc", start_s=0.0, duration_s=0.0, intensity=0.5)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalySpec(AnomalyType.CPU_UTILIZATION, "svc", start_s=-1.0, duration_s=1.0, intensity=0.5)
+
+    def test_end_time(self):
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "svc", start_s=5.0, duration_s=3.0, intensity=0.5)
+        assert spec.end_s == 8.0
+
+    def test_pressure_vector_scales_with_intensity(self):
+        capacity = default_node_capacity()
+        spec = AnomalySpec(AnomalyType.MEMORY_BANDWIDTH, "svc", 0.0, 10.0, intensity=0.5)
+        pressure = spec.pressure_vector(capacity)
+        assert pressure[Resource.MEMORY_BANDWIDTH] == pytest.approx(
+            0.5 * capacity[Resource.MEMORY_BANDWIDTH]
+        )
+        assert pressure[Resource.CPU] == 0.0
+
+    def test_workload_variation_pressure_is_zero(self):
+        spec = AnomalySpec(AnomalyType.WORKLOAD_VARIATION, "svc", 0.0, 10.0, intensity=0.9)
+        assert spec.pressure_vector(default_node_capacity()).total() == 0.0
+
+    def test_string_type_coerced_to_enum(self):
+        spec = AnomalySpec("cpu_utilization", "svc", 0.0, 1.0, 0.5)
+        assert spec.anomaly_type is AnomalyType.CPU_UTILIZATION
+
+
+class TestInjector:
+    @pytest.fixture
+    def setup(self, cluster, engine, cpu_profile):
+        cluster.deploy_service(cpu_profile, replicas=1)
+        injector = PerformanceAnomalyInjector(cluster, engine)
+        return cluster, engine, injector
+
+    def test_pressure_applied_during_window(self, setup):
+        cluster, engine, injector = setup
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=5.0, duration_s=10.0, intensity=0.8)
+        injector.schedule(spec)
+        target_node = cluster.replicas_of("cpu-service")[0].container.node
+        engine.run_until(6.0)
+        assert target_node.injected_pressure[Resource.CPU] > 0
+        engine.run_until(20.0)
+        assert target_node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+
+    def test_immediate_start_when_time_passed(self, setup):
+        cluster, engine, injector = setup
+        engine.run_until(10.0)
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=1.0, duration_s=5.0, intensity=0.5)
+        injector.schedule(spec)
+        node = cluster.replicas_of("cpu-service")[0].container.node
+        assert node.injected_pressure[Resource.CPU] > 0
+
+    def test_unknown_target_is_noop(self, setup):
+        cluster, engine, injector = setup
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "ghost", start_s=1.0, duration_s=5.0, intensity=0.5)
+        record = injector.schedule(spec)
+        engine.run_until(2.0)
+        assert record.node is None
+        assert not record.is_active
+
+    def test_ground_truth_services(self, setup):
+        cluster, engine, injector = setup
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=5.0, duration_s=10.0, intensity=0.5)
+        injector.schedule(spec)
+        engine.run_until(7.0)
+        assert injector.ground_truth_services() == ["cpu-service"]
+        engine.run_until(20.0)
+        assert injector.ground_truth_services() == []
+
+    def test_ground_truth_at_explicit_time(self, setup):
+        cluster, engine, injector = setup
+        injector.schedule(
+            AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=5.0, duration_s=10.0, intensity=0.5)
+        )
+        assert injector.ground_truth_services(at_time=7.0) == ["cpu-service"]
+        assert injector.ground_truth_services(at_time=20.0) == []
+
+    def test_clear_removes_active_pressure(self, setup):
+        cluster, engine, injector = setup
+        injector.schedule(
+            AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=1.0, duration_s=100.0, intensity=0.5)
+        )
+        engine.run_until(2.0)
+        injector.clear()
+        node = cluster.replicas_of("cpu-service")[0].container.node
+        assert node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+
+    def test_workload_variation_inflates_rate(self, cluster, engine, rng, cpu_profile):
+        from repro.apps.catalog import social_network
+        from repro.apps.runtime import ApplicationRuntime
+        from repro.tracing.coordinator import TracingCoordinator
+        from repro.workload.generators import WorkloadGenerator
+        from repro.workload.patterns import ConstantPattern
+
+        coordinator = TracingCoordinator(engine)
+        runtime = ApplicationRuntime(social_network(), cluster, coordinator, engine)
+        runtime.deploy()
+        workload = WorkloadGenerator(runtime, engine, rng, pattern=ConstantPattern(rate=10.0))
+        injector = PerformanceAnomalyInjector(cluster, engine, workload=workload)
+        injector.schedule(
+            AnomalySpec(AnomalyType.WORKLOAD_VARIATION, "nginx", start_s=1.0, duration_s=10.0, intensity=1.0)
+        )
+        engine.run_until(2.0)
+        inflated = workload.pattern.rate_at(engine.now)
+        assert inflated == pytest.approx(10.0 * injector.MAX_LOAD_MULTIPLIER)
+        assert workload.pattern.rate_at(50.0) == pytest.approx(10.0)
+
+
+class TestCampaigns:
+    def test_single_anomaly_sweep_schedule(self):
+        campaign = single_anomaly_sweep(
+            AnomalyType.CPU_UTILIZATION, "svc", intensities=[0.3, 0.6, 0.9],
+            step_duration_s=10.0, gap_s=5.0, start_s=0.0,
+        )
+        assert len(campaign.specs) == 3
+        assert campaign.specs[0].start_s == 0.0
+        assert campaign.specs[1].start_s == 15.0
+        assert campaign.specs[2].intensity == 0.9
+
+    def test_sweep_ground_truth_windows(self):
+        campaign = single_anomaly_sweep(
+            AnomalyType.CPU_UTILIZATION, "svc", [0.5], step_duration_s=10.0, start_s=5.0
+        )
+        assert campaign.ground_truth(7.0) == ["svc"]
+        assert campaign.ground_truth(20.0) == []
+
+    def test_multi_anomaly_campaign_windows(self):
+        rng = SeededRNG(0)
+        campaign = multi_anomaly_campaign(["a", "b"], rng, windows=4, window_s=10.0)
+        assert campaign.end_time() <= 5.0 + 4 * 10.0
+        assert all(spec.target_service in {"a", "b"} for spec in campaign.specs)
+
+    def test_multi_anomaly_deterministic(self):
+        a = multi_anomaly_campaign(["a", "b"], SeededRNG(7), windows=3)
+        b = multi_anomaly_campaign(["a", "b"], SeededRNG(7), windows=3)
+        assert [(s.anomaly_type, s.start_s, s.intensity) for s in a.specs] == [
+            (s.anomaly_type, s.start_s, s.intensity) for s in b.specs
+        ]
+
+    def test_intensity_timeline_shape(self):
+        rng = SeededRNG(0)
+        campaign = multi_anomaly_campaign(["a"], rng, windows=3, window_s=10.0)
+        timeline = campaign.intensity_timeline(10.0)
+        assert len(timeline) >= 3
+        for window in timeline:
+            assert set(window) == set(ANOMALY_TYPES)
+            assert all(0.0 <= value <= 1.0 for value in window.values())
+
+    def test_random_campaign_respects_duration(self):
+        rng = SeededRNG(0)
+        campaign = random_campaign(["a", "b"], rng, duration_s=100.0, rate_per_s=0.5)
+        assert all(spec.start_s < 100.0 for spec in campaign.specs)
+        assert len(campaign.specs) > 10
+
+    def test_random_campaign_intensity_floor(self):
+        rng = SeededRNG(0)
+        campaign = random_campaign(["a"], rng, duration_s=200.0, min_intensity=0.6)
+        assert all(spec.intensity >= 0.6 for spec in campaign.specs)
+
+    def test_empty_campaign_end_time_zero(self):
+        assert AnomalyCampaign("empty").end_time() == 0.0

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _to_jsonable, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_run_requires_known_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "nope"])
+
+    def test_missing_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_run_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "table6"])
+        assert args.experiment == "table6"
+        assert args.duration == 90.0
+
+
+class TestExecution:
+    def test_run_table6_prints_json(self, capsys):
+        assert main(["run", "table6"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list)
+        assert any(row["operation"] == "partition_cpu" for row in payload)
+
+    def test_run_table6_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "table6.json"
+        assert main(["run", "table6", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert len(payload) == 7
+
+    def test_all_experiments_registered(self):
+        expected = {"fig1", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "table1", "table6", "summary"}
+        assert set(EXPERIMENTS) == expected
+
+
+class TestJsonConversion:
+    def test_dataclass_converted(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Point:
+            x: int
+            y: str
+
+        assert _to_jsonable(Point(1, "a")) == {"x": 1, "y": "a"}
+
+    def test_nested_structures(self):
+        assert _to_jsonable({"a": [1, (2, 3)]}) == {"a": [1, [2, 3]]}
+
+    def test_unknown_objects_stringified(self):
+        class Opaque:
+            def __repr__(self) -> str:
+                return "<opaque>"
+
+        assert _to_jsonable(Opaque()) == "<opaque>"
+
+    def test_as_dict_used_when_available(self):
+        from repro.metrics.latency import LatencyStats
+
+        stats = LatencyStats.from_samples([1.0, 2.0, 3.0])
+        converted = _to_jsonable(stats)
+        assert converted["count"] == 3

@@ -1,0 +1,164 @@
+"""Unit tests for the container model (limits, demand, slowdown)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.container import Container
+from repro.cluster.instance import MicroserviceInstance, ServiceProfile
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.resources import Resource, ResourceLimits, ResourceVector
+
+
+@pytest.fixture
+def cpu_instance(engine, rng):
+    """A CPU-bound instance on its own node."""
+    node = Node(NodeSpec(name="n0"))
+    profile = ServiceProfile(
+        name="svc",
+        base_service_time_ms=5.0,
+        resource_weights={Resource.CPU: 1.0},
+        demand_per_request=ResourceVector.from_kwargs(cpu=1.0),
+        threads=8,
+    )
+    container = Container(profile.name, limits=ResourceLimits.from_kwargs(
+        cpu=4.0, memory_bandwidth=10.0, llc=4.0, disk_io=200.0, network=1.0
+    ))
+    node.add_container(container)
+    instance = MicroserviceInstance(profile, container, engine, rng)
+    return instance
+
+
+class TestLimits:
+    def test_default_limits_applied(self):
+        container = Container("svc")
+        assert container.limits[Resource.CPU] > 0
+
+    def test_unique_ids(self):
+        a = Container("svc")
+        b = Container("svc")
+        assert a.id != b.id
+
+    def test_effective_cpu_limit_capped_by_threads(self):
+        container = Container("svc", limits=ResourceLimits.from_kwargs(cpu=100.0), threads=4)
+        assert container.effective_cpu_limit() == 4.0
+
+    def test_effective_cpu_limit_not_raised_by_threads(self):
+        container = Container("svc", limits=ResourceLimits.from_kwargs(cpu=2.0), threads=16)
+        assert container.effective_cpu_limit() == 2.0
+
+    def test_set_limit_clamps_negative(self):
+        container = Container("svc")
+        container.set_limit(Resource.CPU, -5.0)
+        assert container.limits[Resource.CPU] == 0.0
+
+    def test_set_limits_replaces_all(self):
+        container = Container("svc")
+        container.set_limits(ResourceVector.uniform(2.0))
+        assert all(container.limits[resource] == 2.0 for resource in container.limits)
+
+    def test_limits_are_copied_not_shared(self):
+        limits = ResourceLimits.from_kwargs(cpu=2.0)
+        container = Container("svc", limits=limits)
+        limits[Resource.CPU] = 99.0
+        assert container.limits[Resource.CPU] == 2.0
+
+    def test_partition_not_enforced_by_default(self):
+        assert Container("svc").partition_enforced is False
+
+
+class TestDemandAndUtilization:
+    def test_no_instance_no_demand(self):
+        container = Container("svc")
+        assert container.current_demand().total() == 0.0
+
+    def test_demand_grows_with_in_flight_work(self, cpu_instance):
+        idle_demand = cpu_instance.container.current_demand()[Resource.CPU]
+        cpu_instance.submit("r1", "svc", lambda *a: None)
+        busy_demand = cpu_instance.container.current_demand()[Resource.CPU]
+        assert busy_demand > idle_demand
+
+    def test_demand_capped_by_limit(self, cpu_instance):
+        for index in range(100):
+            cpu_instance.submit(f"r{index}", "svc", lambda *a: None)
+        demand = cpu_instance.container.current_demand()[Resource.CPU]
+        assert demand <= cpu_instance.container.effective_cpu_limit() + 1e-9
+
+    def test_utilization_between_zero_and_demand_ratio(self, cpu_instance):
+        cpu_instance.submit("r1", "svc", lambda *a: None)
+        utilization = cpu_instance.container.utilization()[Resource.CPU]
+        assert 0.0 < utilization <= 1.0
+
+    def test_usage_matches_demand_shape(self, cpu_instance):
+        cpu_instance.submit("r1", "svc", lambda *a: None)
+        usage = cpu_instance.container.usage()
+        demand = cpu_instance.container.current_demand()
+        assert usage[Resource.CPU] == pytest.approx(demand[Resource.CPU])
+
+
+class TestSlowdown:
+    def test_no_work_no_slowdown(self, cpu_instance):
+        assert cpu_instance.container.total_slowdown() == pytest.approx(1.0)
+
+    def test_throttle_when_demand_exceeds_limit(self, engine, rng):
+        node = Node(NodeSpec(name="n0"))
+        profile = ServiceProfile(
+            name="tight",
+            resource_weights={Resource.CPU: 1.0},
+            demand_per_request=ResourceVector.from_kwargs(cpu=2.0),
+            threads=8,
+        )
+        container = Container("tight", limits=ResourceLimits.from_kwargs(cpu=1.0))
+        node.add_container(container)
+        instance = MicroserviceInstance(profile, container, engine, rng)
+        for index in range(4):
+            instance.submit(f"r{index}", "tight", lambda *a: None)
+        assert container.throttle_factor() > 1.5
+
+    def test_node_pressure_slows_unprotected_container(self, cpu_instance):
+        node = cpu_instance.container.node
+        node.inject_pressure(ResourceVector.from_kwargs(cpu=0.9 * node.capacity[Resource.CPU]))
+        cpu_instance.submit("r1", "svc", lambda *a: None)
+        assert cpu_instance.container.node_contention_factor() > 2.0
+
+    def test_enforced_partition_isolates_from_pressure(self, cpu_instance):
+        node = cpu_instance.container.node
+        node.inject_pressure(ResourceVector.from_kwargs(cpu=0.9 * node.capacity[Resource.CPU]))
+        cpu_instance.submit("r1", "svc", lambda *a: None)
+        before = cpu_instance.container.total_slowdown()
+        cpu_instance.container.partition_enforced = True
+        after = cpu_instance.container.total_slowdown()
+        assert after < before
+
+    def test_insensitive_resource_pressure_has_no_effect(self, cpu_instance):
+        node = cpu_instance.container.node
+        node.inject_pressure(
+            ResourceVector.from_kwargs(disk_io=0.95 * node.capacity[Resource.DISK_IO])
+        )
+        cpu_instance.submit("r1", "svc", lambda *a: None)
+        # The service has no disk-I/O weight, so disk pressure must not slow it.
+        assert cpu_instance.container.total_slowdown() == pytest.approx(
+            cpu_instance.container.throttle_factor(), rel=0.01
+        )
+
+    def test_total_slowdown_at_least_one(self, cpu_instance):
+        assert cpu_instance.container.total_slowdown() >= 1.0
+
+    def test_total_slowdown_does_not_double_count(self, engine, rng):
+        """max-combination: cap and node factors on the same resource do not multiply."""
+        node = Node(NodeSpec(name="n0"))
+        profile = ServiceProfile(
+            name="svc",
+            resource_weights={Resource.CPU: 1.0},
+            demand_per_request=ResourceVector.from_kwargs(cpu=2.0),
+        )
+        container = Container("svc", limits=ResourceLimits.from_kwargs(cpu=1.0))
+        node.add_container(container)
+        instance = MicroserviceInstance(profile, container, engine, rng)
+        for index in range(4):
+            instance.submit(f"r{index}", "svc", lambda *a: None)
+        total = container.total_slowdown()
+        throttle = container.throttle_factor()
+        contention = container.node_contention_factor()
+        assert total <= throttle * contention + 1e-9
+        assert total >= max(throttle, contention) - 1e-9

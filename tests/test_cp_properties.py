@@ -1,0 +1,114 @@
+"""Property-based tests for critical-path extraction over random span trees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.critical_path import CriticalPathExtractor
+from repro.tracing.span import Span, SpanKind
+from repro.tracing.trace import Trace
+
+
+@st.composite
+def random_trace(draw):
+    """Generate a random, well-formed execution history graph.
+
+    The root span covers [0, total]; child spans are placed inside the
+    parent's window either sequentially (non-overlapping, ordered) or in
+    parallel (overlapping), with optional background children and one level
+    of nesting.  Durations are strictly positive.
+    """
+    trace = Trace("r", "main")
+    trace.arrival_time = 0.0
+    n_children = draw(st.integers(min_value=0, max_value=5))
+    child_durations = [
+        draw(st.floats(min_value=0.01, max_value=2.0)) for _ in range(n_children)
+    ]
+    parallel = draw(st.booleans())
+
+    children = []
+    cursor = 0.1
+    for index, duration in enumerate(child_durations):
+        if parallel:
+            start = 0.1 + draw(st.floats(min_value=0.0, max_value=0.05))
+        else:
+            start = cursor
+        end = start + duration
+        cursor = end + 0.01
+        children.append((f"svc{index}", start, end))
+
+    total_end = max((end for _, _, end in children), default=0.2) + 0.1
+    root = Span(
+        request_id="r", service="frontend", instance="frontend#0",
+        kind=SpanKind.ROOT, enqueue_time=0.0, start_time=0.0, end_time=total_end,
+    )
+    trace.add_span(root)
+
+    for name, start, end in children:
+        kind = SpanKind.PARALLEL if parallel else SpanKind.SEQUENTIAL
+        span = Span(
+            request_id="r", service=name, instance=f"{name}#0", kind=kind,
+            parent_id=root.span_id, enqueue_time=start, start_time=start, end_time=end,
+        )
+        trace.add_span(span)
+
+    if draw(st.booleans()):
+        background = Span(
+            request_id="r", service="background", instance="background#0",
+            kind=SpanKind.BACKGROUND, parent_id=root.span_id,
+            enqueue_time=0.2, start_time=0.2,
+            end_time=total_end + draw(st.floats(min_value=0.1, max_value=5.0)),
+        )
+        trace.add_span(background)
+
+    trace.mark_complete(total_end)
+    return trace
+
+
+class TestCriticalPathInvariants:
+    @given(random_trace())
+    @settings(max_examples=80)
+    def test_root_is_first_on_path(self, trace):
+        path = CriticalPathExtractor().extract(trace)
+        assert path.spans[0] is trace.root
+
+    @given(random_trace())
+    @settings(max_examples=80)
+    def test_background_never_on_path(self, trace):
+        path = CriticalPathExtractor().extract(trace)
+        assert "background" not in path.services
+
+    @given(random_trace())
+    @settings(max_examples=80)
+    def test_path_spans_belong_to_trace(self, trace):
+        path = CriticalPathExtractor().extract(trace)
+        trace_span_ids = {span.span_id for span in trace.spans}
+        assert all(span.span_id in trace_span_ids for span in path.spans)
+
+    @given(random_trace())
+    @settings(max_examples=80)
+    def test_no_duplicate_spans_on_path(self, trace):
+        path = CriticalPathExtractor().extract(trace)
+        ids = [span.span_id for span in path.spans]
+        assert len(ids) == len(set(ids))
+
+    @given(random_trace())
+    @settings(max_examples=80)
+    def test_end_to_end_equals_root_sojourn(self, trace):
+        path = CriticalPathExtractor().extract(trace)
+        assert abs(path.end_to_end_latency_ms - trace.root.sojourn_time_ms) < 1e-9
+
+    @given(random_trace())
+    @settings(max_examples=80)
+    def test_path_includes_last_finishing_foreground_child(self, trace):
+        path = CriticalPathExtractor().extract(trace)
+        foreground = trace.foreground_children_of(trace.root)
+        if foreground:
+            last = max(foreground, key=lambda span: span.end_time)
+            assert last.service in path.services
+
+    @given(random_trace())
+    @settings(max_examples=80)
+    def test_signature_stable_across_extractions(self, trace):
+        extractor = CriticalPathExtractor()
+        assert extractor.extract(trace).signature() == extractor.extract(trace).signature()

@@ -1,0 +1,143 @@
+"""Unit tests for critical component extraction (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.critical_component import CriticalComponentExtractor, InstanceFeatures
+from repro.core.critical_path import CriticalPathExtractor
+from repro.core.svm import IncrementalSVM
+from repro.tracing.span import Span, SpanKind
+from repro.tracing.trace import Trace
+
+
+def _make_traces(n=40, culprit="b", seed=0):
+    """Build traces where ``culprit`` has high, variable latency driving the total.
+
+    Services: fe (root) -> a (stable) -> b (variable).  The culprit's latency
+    dominates end-to-end variance and has a heavy tail, so its relative
+    importance and congestion intensity are both high.
+    """
+    rng = np.random.default_rng(seed)
+    traces = []
+    for index in range(n):
+        trace = Trace(f"r{index}", "main")
+        trace.arrival_time = 0.0
+        a_latency = 0.010 + rng.normal(0.0, 0.0005)
+        if culprit == "b":
+            b_latency = 0.010 + float(rng.exponential(0.030))
+        else:
+            b_latency = 0.010 + rng.normal(0.0, 0.0005)
+        root = Span(
+            request_id=f"r{index}", service="fe", instance="fe#0", kind=SpanKind.ROOT,
+            enqueue_time=0.0, start_time=0.0, end_time=0.002 + a_latency + b_latency,
+        )
+        trace.add_span(root)
+        span_a = Span(
+            request_id=f"r{index}", service="a", instance="a#0", kind=SpanKind.SEQUENTIAL,
+            parent_id=root.span_id, enqueue_time=0.001, start_time=0.001,
+            end_time=0.001 + a_latency,
+        )
+        span_b = Span(
+            request_id=f"r{index}", service="b", instance="b#0", kind=SpanKind.SEQUENTIAL,
+            parent_id=root.span_id, enqueue_time=span_a.end_time, start_time=span_a.end_time,
+            end_time=span_a.end_time + b_latency,
+        )
+        trace.add_span(span_a)
+        trace.add_span(span_b)
+        trace.mark_complete(root.end_time)
+        traces.append(trace)
+    return traces
+
+
+@pytest.fixture
+def traces_and_paths():
+    traces = _make_traces()
+    paths = CriticalPathExtractor().extract_all(traces)
+    return traces, paths
+
+
+class TestFeatures:
+    def test_features_computed_for_cp_instances(self, traces_and_paths):
+        traces, paths = traces_and_paths
+        extractor = CriticalComponentExtractor()
+        features = extractor.compute_features(paths, traces)
+        instances = {feature.instance for feature in features}
+        assert {"fe#0", "a#0", "b#0"} <= instances
+
+    def test_culprit_has_higher_relative_importance(self, traces_and_paths):
+        traces, paths = traces_and_paths
+        extractor = CriticalComponentExtractor()
+        features = {f.instance: f for f in extractor.compute_features(paths, traces)}
+        assert features["b#0"].relative_importance > features["a#0"].relative_importance
+
+    def test_culprit_has_higher_congestion_intensity(self, traces_and_paths):
+        traces, paths = traces_and_paths
+        extractor = CriticalComponentExtractor()
+        features = {f.instance: f for f in extractor.compute_features(paths, traces)}
+        assert features["b#0"].congestion_intensity > features["a#0"].congestion_intensity
+
+    def test_min_samples_filter(self):
+        traces = _make_traces(n=3)
+        paths = CriticalPathExtractor().extract_all(traces)
+        extractor = CriticalComponentExtractor(min_samples=10)
+        assert extractor.compute_features(paths, traces) == []
+
+    def test_feature_vector_order(self):
+        feature = InstanceFeatures(
+            instance="x#0", service="x", relative_importance=0.5,
+            congestion_intensity=2.0, sample_count=10,
+        )
+        np.testing.assert_allclose(feature.as_vector(), [0.5, 2.0])
+
+    def test_pearson_degenerate_is_zero(self):
+        assert CriticalComponentExtractor._pearson(np.ones(5), np.arange(5)) == 0.0
+        assert CriticalComponentExtractor._pearson(np.arange(1), np.arange(1)) == 0.0
+
+    def test_congestion_intensity_empty_is_zero(self):
+        assert CriticalComponentExtractor._congestion_intensity([]) == 0.0
+
+    def test_empty_paths_no_features(self):
+        extractor = CriticalComponentExtractor()
+        assert extractor.compute_features([], []) == []
+
+
+class TestLocalization:
+    def test_culprit_flagged_by_cold_start(self, traces_and_paths):
+        traces, paths = traces_and_paths
+        extractor = CriticalComponentExtractor()
+        candidates = {f.instance for f in extractor.extract(paths, traces)}
+        assert "b#0" in candidates
+        assert "a#0" not in candidates
+
+    def test_rank_orders_culprit_first(self, traces_and_paths):
+        traces, paths = traces_and_paths
+        extractor = CriticalComponentExtractor()
+        ranked = extractor.rank(paths, traces)
+        assert ranked[0][0].instance == "b#0"
+
+    def test_rank_empty_traces(self):
+        extractor = CriticalComponentExtractor()
+        assert extractor.rank([], []) == []
+
+    def test_training_from_ground_truth_improves_svm(self, traces_and_paths):
+        traces, paths = traces_and_paths
+        svm = IncrementalSVM(input_dim=2)
+        extractor = CriticalComponentExtractor(svm=svm)
+        loss = extractor.train_from_ground_truth(paths, traces, ["b"])
+        assert svm.is_trained
+        assert loss >= 0.0
+
+    def test_trained_svm_still_flags_culprit(self, traces_and_paths):
+        traces, paths = traces_and_paths
+        svm = IncrementalSVM(input_dim=2)
+        extractor = CriticalComponentExtractor(svm=svm)
+        for _ in range(20):
+            extractor.train_from_ground_truth(paths, traces, ["b"])
+        candidates = {f.service for f in extractor.extract(paths, traces)}
+        assert "b" in candidates
+
+    def test_training_with_no_traces_is_noop(self):
+        extractor = CriticalComponentExtractor()
+        assert extractor.train_from_ground_truth([], [], ["b"]) == 0.0

@@ -1,0 +1,161 @@
+"""Unit tests for critical path extraction (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.critical_path import CriticalPath, CriticalPathExtractor
+from repro.tracing.span import Span, SpanKind
+from repro.tracing.trace import Trace
+
+
+def _span(request, service, parent, t0, t2, kind=SpanKind.SEQUENTIAL, instance=None):
+    return Span(
+        request_id=request,
+        service=service,
+        instance=instance or f"{service}#0",
+        parent_id=parent,
+        kind=kind,
+        enqueue_time=t0,
+        start_time=t0,
+        end_time=t2,
+    )
+
+
+def _fan_out_trace(slow_service="b"):
+    """root -> (a ∥ b parallel) then c sequential; ``slow_service`` dominates."""
+    trace = Trace("r1", "main")
+    trace.arrival_time = 0.0
+    durations = {"a": 1.0, "b": 1.0, "c": 1.0}
+    durations[slow_service] = 3.0
+    root = _span("r1", "fe", None, 0.0, 10.0, SpanKind.ROOT)
+    trace.add_span(root)
+    a = _span("r1", "a", root.span_id, 0.1, 0.1 + durations["a"], SpanKind.PARALLEL)
+    b = _span("r1", "b", root.span_id, 0.1, 0.1 + durations["b"], SpanKind.PARALLEL)
+    stage_end = max(a.end_time, b.end_time)
+    c = _span("r1", "c", root.span_id, stage_end, stage_end + durations["c"], SpanKind.SEQUENTIAL)
+    root.end_time = c.end_time + 0.1
+    trace.mark_complete(root.end_time)
+    for span in (a, b, c):
+        trace.add_span(span)
+    return trace
+
+
+class TestExtraction:
+    def test_empty_trace_returns_empty_path(self):
+        extractor = CriticalPathExtractor()
+        path = extractor.extract(Trace("r1", "main"))
+        assert len(path) == 0
+        assert path.services == []
+
+    def test_root_always_on_path(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace())
+        assert path.services[0] == "fe"
+
+    def test_slower_parallel_branch_on_path(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace(slow_service="b"))
+        assert "b" in path
+        assert "a" not in path
+
+    def test_path_follows_the_contended_branch(self):
+        """The CP shifts to whichever sibling is slow (Insight 1 / Table 1)."""
+        path_a = CriticalPathExtractor().extract(_fan_out_trace(slow_service="a"))
+        path_b = CriticalPathExtractor().extract(_fan_out_trace(slow_service="b"))
+        assert "a" in path_a and "b" not in path_a
+        assert "b" in path_b and "a" not in path_b
+
+    def test_sequential_successor_on_path(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace())
+        assert "c" in path
+
+    def test_background_spans_excluded(self):
+        trace = _fan_out_trace()
+        root = trace.root
+        background = _span("r1", "bg", root.span_id, 0.2, 50.0, SpanKind.BACKGROUND)
+        trace.add_span(background)
+        path = CriticalPathExtractor().extract(trace)
+        assert "bg" not in path
+
+    def test_nested_children_followed(self):
+        trace = Trace("r1", "main")
+        trace.arrival_time = 0.0
+        root = _span("r1", "fe", None, 0.0, 5.0, SpanKind.ROOT)
+        mid = _span("r1", "mid", root.span_id, 0.5, 4.5)
+        leaf = _span("r1", "leaf", mid.span_id, 1.0, 4.0)
+        for span in (root, mid, leaf):
+            trace.add_span(span)
+        trace.mark_complete(5.0)
+        path = CriticalPathExtractor().extract(trace)
+        assert path.services == ["fe", "mid", "leaf"]
+
+    def test_extract_all_skips_rootless(self):
+        extractor = CriticalPathExtractor()
+        paths = extractor.extract_all([Trace("r1", "main"), _fan_out_trace()])
+        assert len(paths) == 1
+
+
+class TestCriticalPathObject:
+    def test_end_to_end_is_root_sojourn(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace())
+        assert path.end_to_end_latency_ms == pytest.approx(path.spans[0].sojourn_time_ms)
+
+    def test_total_latency_sums_spans(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace())
+        assert path.total_latency_ms == pytest.approx(
+            sum(span.sojourn_time_ms for span in path.spans)
+        )
+
+    def test_latency_of_service(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace(slow_service="b"))
+        assert path.latency_of("b") == pytest.approx(3000.0)
+        assert path.latency_of("a") == 0.0
+
+    def test_signature_is_service_tuple(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace())
+        assert path.signature() == tuple(path.services)
+
+    def test_contains_operator(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace())
+        assert "fe" in path
+        assert "ghost" not in path
+
+    def test_instances_listed(self):
+        path = CriticalPathExtractor().extract(_fan_out_trace())
+        assert "fe#0" in path.instances
+
+
+class TestGrouping:
+    def test_group_by_signature(self):
+        extractor = CriticalPathExtractor()
+        paths = [extractor.extract(_fan_out_trace("b")) for _ in range(3)]
+        paths += [extractor.extract(_fan_out_trace("a")) for _ in range(2)]
+        groups = extractor.group_by_signature(paths)
+        assert len(groups) == 2
+        sizes = sorted(len(group) for group in groups.values())
+        assert sizes == [2, 3]
+
+    def test_min_max_signature_latencies(self):
+        extractor = CriticalPathExtractor()
+        fast, slow = [], []
+        for _ in range(6):
+            fast.append(extractor.extract(_fan_out_trace("b")))
+        for _ in range(6):
+            trace = _fan_out_trace("a")
+            # make the 'a' signature noticeably slower end-to-end
+            trace.root.end_time += 5.0
+            slow.append(extractor.extract(trace))
+        split = extractor.min_max_signature_latencies(fast + slow)
+        assert len(split["min_cp"]) == 6
+        assert len(split["max_cp"]) == 6
+        assert (sum(split["max_cp"]) / 6) > (sum(split["min_cp"]) / 6)
+
+    def test_min_max_with_few_samples_falls_back(self):
+        extractor = CriticalPathExtractor()
+        paths = [extractor.extract(_fan_out_trace("b"))]
+        split = extractor.min_max_signature_latencies(paths)
+        assert split["min_cp"] and split["max_cp"]
+
+    def test_min_max_empty_input(self):
+        extractor = CriticalPathExtractor()
+        split = extractor.min_max_signature_latencies([])
+        assert split == {"min_cp": [], "max_cp": []}

@@ -1,0 +1,157 @@
+"""Unit tests for the orchestrator and actuation model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.actuation import ACTUATION_LATENCY, ActuationModel, PARTITION_OPERATION
+from repro.cluster.orchestrator import Orchestrator, ScaleAction
+from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
+from repro.sim.rng import SeededRNG
+
+
+@pytest.fixture
+def deployed(cluster, cpu_profile, orchestrator):
+    instance = cluster.deploy_service(cpu_profile, replicas=1)[0]
+    return instance, orchestrator, cluster
+
+
+class TestPartition:
+    def test_limit_applies_after_actuation_latency(self, deployed, engine):
+        instance, orchestrator, _ = deployed
+        original = instance.container.limits[Resource.CPU]
+        record = orchestrator.set_resource_limit(instance, Resource.CPU, 2.0)
+        # Before the actuation latency elapses the old limit holds.
+        assert instance.container.limits[Resource.CPU] == original
+        engine.run_until(engine.now + 1.0)
+        assert instance.container.limits[Resource.CPU] == pytest.approx(2.0)
+        assert record.latency_ms > 0
+
+    def test_partition_marks_enforcement(self, deployed, engine):
+        instance, orchestrator, _ = deployed
+        assert instance.container.partition_enforced is False
+        orchestrator.set_resource_limit(instance, Resource.CPU, 2.0)
+        engine.run_until(engine.now + 1.0)
+        assert instance.container.partition_enforced is True
+
+    def test_limit_clamped_to_node_capacity(self, deployed, engine):
+        instance, orchestrator, _ = deployed
+        capacity = instance.container.node.capacity[Resource.CPU]
+        record = orchestrator.set_resource_limit(instance, Resource.CPU, capacity * 10)
+        assert record.value == pytest.approx(capacity)
+
+    def test_negative_limit_clamped_to_zero(self, deployed, engine):
+        instance, orchestrator, _ = deployed
+        record = orchestrator.set_resource_limit(instance, Resource.CPU, -5.0)
+        assert record.value == 0.0
+
+    def test_set_all_limits(self, deployed, engine):
+        instance, orchestrator, _ = deployed
+        records = orchestrator.set_resource_limits(instance, ResourceVector.uniform(1.0))
+        assert len(records) == len(RESOURCE_TYPES)
+        engine.run_until(engine.now + 1.0)
+        assert instance.container.limits[Resource.LLC] == pytest.approx(1.0)
+
+    def test_history_records_actions(self, deployed):
+        instance, orchestrator, _ = deployed
+        orchestrator.set_resource_limit(instance, Resource.CPU, 2.0)
+        assert len(orchestrator.history) == 1
+        assert orchestrator.history[0].action is ScaleAction.PARTITION
+
+
+class TestScaling:
+    def test_scale_up_doubles_limits(self, deployed, engine):
+        instance, orchestrator, _ = deployed
+        before = instance.container.limits[Resource.CPU]
+        orchestrator.scale_up(instance, factor=2.0)
+        engine.run_until(engine.now + 1.0)
+        assert instance.container.limits[Resource.CPU] == pytest.approx(before * 2.0)
+
+    def test_scale_down_halves_limits(self, deployed, engine):
+        instance, orchestrator, _ = deployed
+        before = instance.container.limits[Resource.MEMORY_BANDWIDTH]
+        orchestrator.scale_down(instance, factor=0.5)
+        engine.run_until(engine.now + 1.0)
+        assert instance.container.limits[Resource.MEMORY_BANDWIDTH] == pytest.approx(before * 0.5)
+
+    def test_scale_out_adds_replica_after_cold_start(self, deployed, engine):
+        instance, orchestrator, cluster = deployed
+        record = orchestrator.scale_out("cpu-service")
+        assert record.detail == "cold"
+        assert orchestrator.replica_count("cpu-service") == 1
+        engine.run_until(engine.now + 5.0)
+        assert orchestrator.replica_count("cpu-service") == 2
+
+    def test_second_scale_out_is_warm(self, deployed, engine):
+        _, orchestrator, _ = deployed
+        first = orchestrator.scale_out("cpu-service")
+        second = orchestrator.scale_out("cpu-service")
+        assert first.detail == "cold"
+        assert second.detail == "warm"
+        assert second.latency_ms < first.latency_ms
+
+    def test_scale_in_removes_replica(self, deployed, engine):
+        _, orchestrator, cluster = deployed
+        orchestrator.scale_out("cpu-service")
+        engine.run_until(engine.now + 5.0)
+        record = orchestrator.scale_in("cpu-service")
+        assert record.succeeded
+        assert orchestrator.replica_count("cpu-service") == 1
+
+    def test_scale_in_refuses_last_replica(self, deployed):
+        _, orchestrator, _ = deployed
+        record = orchestrator.scale_in("cpu-service")
+        assert not record.succeeded
+        assert orchestrator.replica_count("cpu-service") == 1
+
+    def test_actions_since_filters_by_time(self, deployed, engine):
+        instance, orchestrator, _ = deployed
+        orchestrator.set_resource_limit(instance, Resource.CPU, 2.0)
+        engine.run_until(10.0)
+        orchestrator.set_resource_limit(instance, Resource.CPU, 3.0)
+        assert len(orchestrator.actions_since(5.0)) == 1
+
+
+class TestActuationModel:
+    def test_table6_operations_present(self):
+        expected = {
+            "partition_cpu",
+            "partition_memory_bandwidth",
+            "partition_llc",
+            "partition_disk_io",
+            "partition_network",
+            "container_start_warm",
+            "container_start_cold",
+        }
+        assert set(ACTUATION_LATENCY) == expected
+
+    def test_every_resource_has_partition_operation(self):
+        assert set(PARTITION_OPERATION) == set(RESOURCE_TYPES)
+
+    def test_sample_is_positive(self):
+        model = ActuationModel(SeededRNG(0))
+        for operation in ACTUATION_LATENCY:
+            assert model.sample_ms(operation) > 0
+
+    def test_sample_unknown_operation_raises(self):
+        model = ActuationModel(SeededRNG(0))
+        with pytest.raises(KeyError):
+            model.sample_ms("nope")
+
+    def test_cold_start_slower_than_warm(self):
+        model = ActuationModel(SeededRNG(0))
+        warm = [model.container_start_latency_ms(warm=True) for _ in range(50)]
+        cold = [model.container_start_latency_ms(warm=False) for _ in range(50)]
+        assert min(cold) > max(warm)
+
+    def test_cpu_partition_fastest(self):
+        model = ActuationModel(SeededRNG(0))
+        cpu = sum(model.partition_latency_ms(Resource.CPU) for _ in range(50)) / 50
+        membw = sum(model.partition_latency_ms(Resource.MEMORY_BANDWIDTH) for _ in range(50)) / 50
+        assert cpu < membw
+
+    def test_sample_mean_matches_table(self):
+        model = ActuationModel(SeededRNG(0))
+        spec = ACTUATION_LATENCY["partition_llc"]
+        draws = [model.sample_ms("partition_llc") for _ in range(2000)]
+        assert sum(draws) / len(draws) == pytest.approx(spec.mean_ms, rel=0.1)

@@ -1,0 +1,138 @@
+"""Unit tests for proactive SLO-violation prediction (future-work extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import (
+    EWMAPredictor,
+    LinearTrendPredictor,
+    ProactiveTrigger,
+)
+
+
+class TestEWMAPredictor:
+    def test_no_data_no_forecast(self):
+        assert EWMAPredictor().forecast(5.0) is None
+
+    def test_single_observation_is_level(self):
+        predictor = EWMAPredictor()
+        predictor.observe(0.0, 100.0)
+        assert predictor.forecast(0.0) == pytest.approx(100.0)
+
+    def test_constant_signal_forecast_constant(self):
+        predictor = EWMAPredictor()
+        for t in range(20):
+            predictor.observe(float(t), 50.0)
+        assert predictor.forecast(10.0) == pytest.approx(50.0, rel=0.05)
+
+    def test_rising_signal_forecast_higher(self):
+        predictor = EWMAPredictor()
+        for t in range(20):
+            predictor.observe(float(t), 10.0 * t)
+        current = predictor.forecast(0.0)
+        future = predictor.forecast(10.0)
+        assert future > current
+
+    def test_forecast_never_negative(self):
+        predictor = EWMAPredictor()
+        for t in range(10):
+            predictor.observe(float(t), 100.0 - 20.0 * t)
+        assert predictor.forecast(100.0) == 0.0
+
+    def test_invalid_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(level_alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMAPredictor(trend_beta=1.5)
+
+
+class TestLinearTrendPredictor:
+    def test_no_data_no_forecast(self):
+        assert LinearTrendPredictor().forecast(5.0) is None
+
+    def test_single_sample_constant_forecast(self):
+        predictor = LinearTrendPredictor()
+        predictor.observe(0.0, 42.0)
+        assert predictor.forecast(10.0) == pytest.approx(42.0)
+
+    def test_linear_ramp_extrapolated(self):
+        predictor = LinearTrendPredictor(window=10)
+        for t in range(10):
+            predictor.observe(float(t), 10.0 + 5.0 * t)
+        # At t=9 the value is 55; 4 seconds ahead it should be ~75.
+        assert predictor.forecast(4.0) == pytest.approx(75.0, rel=0.05)
+
+    def test_window_bounds_history(self):
+        predictor = LinearTrendPredictor(window=5)
+        for t in range(100):
+            predictor.observe(float(t), 1.0)
+        assert len(predictor._samples) == 5
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTrendPredictor(window=1)
+
+    def test_forecast_never_negative(self):
+        predictor = LinearTrendPredictor(window=5)
+        for t in range(5):
+            predictor.observe(float(t), 50.0 - 20.0 * t)
+        assert predictor.forecast(100.0) == 0.0
+
+
+class TestProactiveTrigger:
+    def test_triggers_before_violation_on_ramp(self):
+        """A steady latency ramp triggers the predictor before the SLO is crossed."""
+        trigger = ProactiveTrigger(slo_latency_ms=200.0, horizon_s=5.0, margin=0.9)
+        trigger_time = None
+        violation_time = None
+        for t in range(40):
+            latency = 50.0 + 6.0 * t  # crosses 200 ms at t=25
+            fired = trigger.update(float(t), latency)
+            if fired and trigger_time is None:
+                trigger_time = t
+            if latency > 200.0 and violation_time is None:
+                violation_time = t
+        assert trigger_time is not None and violation_time is not None
+        assert trigger_time < violation_time
+
+    def test_no_trigger_on_flat_healthy_signal(self):
+        trigger = ProactiveTrigger(slo_latency_ms=200.0, horizon_s=5.0)
+        fired = [trigger.update(float(t), 60.0) for t in range(30)]
+        assert not any(fired)
+
+    def test_lead_time_positive_on_ramp(self):
+        trigger = ProactiveTrigger(slo_latency_ms=200.0, horizon_s=8.0, margin=0.8)
+        for t in range(40):
+            trigger.update(float(t), 40.0 + 6.0 * t)
+        lead = trigger.lead_time_s()
+        assert lead is not None and lead > 0
+
+    def test_lead_time_none_without_violation(self):
+        trigger = ProactiveTrigger(slo_latency_ms=1000.0)
+        for t in range(10):
+            trigger.update(float(t), 50.0)
+        assert trigger.lead_time_s() is None
+
+    def test_precision_recall_on_mixed_signal(self):
+        rng = np.random.default_rng(0)
+        trigger = ProactiveTrigger(slo_latency_ms=150.0, horizon_s=5.0)
+        for t in range(60):
+            base = 60.0 if (t // 20) % 2 == 0 else 220.0
+            trigger.update(float(t), base + rng.normal(0, 5))
+        precision, recall = trigger.precision_recall()
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+        assert recall > 0.3  # the violating plateaus are mostly caught
+
+    def test_events_recorded(self):
+        trigger = ProactiveTrigger(slo_latency_ms=100.0)
+        trigger.update(0.0, 50.0)
+        trigger.update(1.0, 60.0)
+        assert len(trigger.events) == 2
+        assert trigger.events[0].observed_ms == 50.0
+
+    def test_custom_predictor_injected(self):
+        trigger = ProactiveTrigger(slo_latency_ms=100.0, predictor=LinearTrendPredictor())
+        assert isinstance(trigger.predictor, LinearTrendPredictor)

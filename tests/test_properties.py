@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
+from repro.core.rl.env import MicroserviceEnvironment
+from repro.core.rl.nn import MLP
+from repro.core.rl.replay_buffer import ReplayBuffer
+from repro.core.rl.reward import compute_reward, slo_violation_ratio
+from repro.core.svm import RBFFeatureMap
+from repro.metrics.latency import LatencyStats, cdf_points, percentile
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+from repro.workload.patterns import ConstantPattern, DiurnalPattern, SpikePattern, StepPattern
+
+nonneg_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+small_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestResourceVectorProperties:
+    @given(st.lists(nonneg_floats, min_size=5, max_size=5), st.lists(nonneg_floats, min_size=5, max_size=5))
+    def test_addition_commutative(self, a_values, b_values):
+        a = ResourceVector(dict(zip(RESOURCE_TYPES, a_values)))
+        b = ResourceVector(dict(zip(RESOURCE_TYPES, b_values)))
+        left = a + b
+        right = b + a
+        for resource in RESOURCE_TYPES:
+            assert left[resource] == right[resource]
+
+    @given(st.lists(nonneg_floats, min_size=5, max_size=5))
+    def test_clamp_nonnegative_idempotent(self, values):
+        vector = ResourceVector(dict(zip(RESOURCE_TYPES, values)))
+        once = vector.clamp_nonnegative()
+        twice = once.clamp_nonnegative()
+        for resource in RESOURCE_TYPES:
+            assert once[resource] == twice[resource]
+            assert once[resource] >= 0.0
+
+    @given(st.lists(nonneg_floats, min_size=5, max_size=5))
+    def test_dominates_after_addition(self, values):
+        vector = ResourceVector(dict(zip(RESOURCE_TYPES, values)))
+        bigger = vector + ResourceVector.uniform(1.0)
+        assert bigger.dominates(vector)
+
+    @given(st.lists(nonneg_floats, min_size=5, max_size=5), st.floats(min_value=0.0, max_value=100.0))
+    def test_scalar_multiplication_scales_total(self, values, scalar):
+        vector = ResourceVector(dict(zip(RESOURCE_TYPES, values)))
+        assert (vector * scalar).total() == np.float64(vector.total() * scalar) or abs(
+            (vector * scalar).total() - vector.total() * scalar
+        ) < 1e-6 * max(1.0, vector.total() * scalar)
+
+
+class TestLatencyProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=200))
+    def test_percentiles_ordered(self, samples):
+        stats = LatencyStats.from_samples(samples)
+        assert stats.median <= stats.p95 + 1e-9
+        assert stats.p95 <= stats.p99 + 1e-9
+        assert stats.p99 <= stats.maximum + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=1, max_size=200))
+    def test_percentile_within_range(self, samples):
+        assert min(samples) - 1e-9 <= percentile(samples, 50) <= max(samples) + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e5), min_size=2, max_size=100))
+    def test_cdf_is_monotone(self, samples):
+        points = cdf_points(samples, points=20)
+        values = [value for value, _ in points]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestQueueingCurveProperties:
+    @given(st.floats(min_value=0.0, max_value=10.0), st.floats(min_value=0.0, max_value=10.0))
+    def test_queueing_factor_monotone(self, a, b):
+        low, high = sorted((a, b))
+        assert Node._queueing_factor(low) <= Node._queueing_factor(high) + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=10.0))
+    def test_queueing_factor_at_least_one(self, rho):
+        assert Node._queueing_factor(rho) >= 1.0
+
+
+class TestRewardProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=5),
+    )
+    def test_reward_bounded(self, sv, utilizations):
+        reward = compute_reward(sv, utilizations)
+        assert 0.0 <= reward <= 5.0 + 1e-9
+
+    @given(st.floats(min_value=1e-3, max_value=1e5), st.floats(min_value=1e-3, max_value=1e5))
+    def test_slo_ratio_in_unit_interval(self, slo, current):
+        assert 0.0 <= slo_violation_ratio(slo, current) <= 1.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=5),
+    )
+    def test_reward_monotone_in_sv(self, sv_low, sv_high, utilizations):
+        low, high = sorted((sv_low, sv_high))
+        assert compute_reward(low, utilizations) <= compute_reward(high, utilizations) + 1e-9
+
+
+class TestRNGProperties:
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    @settings(max_examples=25)
+    def test_streams_reproducible(self, seed, name):
+        a = SeededRNG(seed).stream(name).random(5)
+        b = SeededRNG(seed).stream(name).random(5)
+        np.testing.assert_allclose(a, b)
+
+
+class TestPatternProperties:
+    @given(st.floats(min_value=0.0, max_value=1e5), st.floats(min_value=-1e3, max_value=1e3))
+    def test_constant_pattern_nonnegative(self, time, rate):
+        assert ConstantPattern(rate=rate).rate_at(time) >= 0.0
+
+    @given(
+        st.floats(min_value=0.0, max_value=1e5),
+        st.floats(min_value=0.0, max_value=1e3),
+        st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_diurnal_pattern_nonnegative(self, time, base, amplitude):
+        pattern = DiurnalPattern(base_rate=base, amplitude=amplitude, period_s=3600.0)
+        assert pattern.rate_at(time) >= 0.0
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.1, max_value=100.0), st.floats(min_value=0.0, max_value=1e3)
+    ), min_size=1, max_size=10), st.floats(min_value=0.0, max_value=1e4))
+    def test_step_pattern_nonnegative(self, steps, time):
+        assert StepPattern(steps=steps).rate_at(time) >= 0.0
+
+
+class TestMLPProperties:
+    @given(st.lists(small_floats, min_size=3, max_size=3))
+    @settings(max_examples=30)
+    def test_tanh_head_bounded(self, values):
+        net = MLP([3, 8, 2], ["relu", "tanh"], seed=0)
+        output = net.forward(np.array([values]))
+        assert np.all(np.abs(output) <= 1.0)
+
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=20)
+    def test_replay_buffer_never_exceeds_capacity(self, pushes):
+        buffer = ReplayBuffer(capacity=16)
+        for index in range(pushes):
+            buffer.push(np.zeros(2), np.zeros(1), 0.0, np.zeros(2))
+        assert len(buffer) == min(pushes, 16)
+
+
+class TestSVMProperties:
+    @given(st.lists(st.tuples(
+        st.floats(min_value=-5.0, max_value=5.0), st.floats(min_value=-5.0, max_value=5.0)
+    ), min_size=1, max_size=30))
+    @settings(max_examples=30)
+    def test_rbf_features_bounded(self, rows):
+        feature_map = RBFFeatureMap(input_dim=2, n_components=16, seed=1)
+        output = feature_map.transform(np.array(rows))
+        assert np.all(np.abs(output) <= np.sqrt(2.0 / 16) + 1e-9)
+
+
+class TestCompositionEncodingProperties:
+    @given(st.dictionaries(
+        st.sampled_from(["a", "b", "c", "d"]),
+        st.floats(min_value=0.0, max_value=1.0),
+        min_size=1, max_size=4,
+    ))
+    def test_encoding_in_unit_interval(self, composition):
+        value = MicroserviceEnvironment._encode_request_composition(composition)
+        assert 0.0 <= value <= 1.0
+
+
+class TestEngineProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_events_execute_in_nondecreasing_time_order(self, times):
+        engine = SimulationEngine()
+        seen = []
+        for time in times:
+            engine.schedule(time, lambda eng, t=time: seen.append(eng.now))
+        engine.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(times)

@@ -1,0 +1,132 @@
+"""Unit tests for the fine-grained resource model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.resources import (
+    RESOURCE_TYPES,
+    Resource,
+    ResourceLimits,
+    ResourceUsage,
+    ResourceVector,
+    default_container_limits,
+    default_node_capacity,
+)
+
+
+class TestResourceEnum:
+    def test_five_resource_types(self):
+        assert len(RESOURCE_TYPES) == 5
+
+    def test_canonical_order_starts_with_cpu(self):
+        assert RESOURCE_TYPES[0] is Resource.CPU
+
+    def test_values_are_strings(self):
+        assert Resource.CPU.value == "cpu"
+        assert Resource.MEMORY_BANDWIDTH.value == "memory_bandwidth"
+
+    def test_enum_constructible_from_value(self):
+        assert Resource("llc") is Resource.LLC
+
+
+class TestResourceVector:
+    def test_missing_resources_default_to_zero(self):
+        vector = ResourceVector({Resource.CPU: 2.0})
+        assert vector[Resource.LLC] == 0.0
+        assert vector[Resource.CPU] == 2.0
+
+    def test_from_kwargs(self):
+        vector = ResourceVector.from_kwargs(cpu=1.0, network=0.5)
+        assert vector[Resource.CPU] == 1.0
+        assert vector[Resource.NETWORK] == 0.5
+        assert vector[Resource.DISK_IO] == 0.0
+
+    def test_uniform(self):
+        vector = ResourceVector.uniform(3.0)
+        assert all(vector[resource] == 3.0 for resource in RESOURCE_TYPES)
+
+    def test_setitem(self):
+        vector = ResourceVector()
+        vector[Resource.CPU] = 7.0
+        assert vector[Resource.CPU] == 7.0
+
+    def test_addition(self):
+        a = ResourceVector.from_kwargs(cpu=1.0)
+        b = ResourceVector.from_kwargs(cpu=2.0, llc=1.0)
+        total = a + b
+        assert total[Resource.CPU] == 3.0
+        assert total[Resource.LLC] == 1.0
+
+    def test_subtraction_and_clamp(self):
+        a = ResourceVector.from_kwargs(cpu=1.0)
+        b = ResourceVector.from_kwargs(cpu=3.0)
+        diff = (a - b).clamp_nonnegative()
+        assert diff[Resource.CPU] == 0.0
+
+    def test_scalar_multiplication(self):
+        vector = ResourceVector.from_kwargs(cpu=2.0, network=1.0) * 2.0
+        assert vector[Resource.CPU] == 4.0
+        assert vector[Resource.NETWORK] == 2.0
+
+    def test_ratio_zero_denominator_is_zero(self):
+        numerator = ResourceVector.from_kwargs(cpu=1.0)
+        denominator = ResourceVector.from_kwargs(cpu=0.0)
+        assert numerator.ratio(denominator)[Resource.CPU] == 0.0
+
+    def test_ratio(self):
+        numerator = ResourceVector.from_kwargs(cpu=1.0)
+        denominator = ResourceVector.from_kwargs(cpu=4.0)
+        assert numerator.ratio(denominator)[Resource.CPU] == pytest.approx(0.25)
+
+    def test_total(self):
+        vector = ResourceVector.from_kwargs(cpu=1.0, llc=2.0)
+        assert vector.total() == pytest.approx(3.0)
+
+    def test_dominates(self):
+        big = ResourceVector.uniform(5.0)
+        small = ResourceVector.uniform(1.0)
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_dominates_is_reflexive(self):
+        vector = ResourceVector.uniform(2.0)
+        assert vector.dominates(vector.copy())
+
+    def test_copy_is_independent(self):
+        original = ResourceVector.from_kwargs(cpu=1.0)
+        clone = original.copy()
+        clone[Resource.CPU] = 9.0
+        assert original[Resource.CPU] == 1.0
+
+    def test_as_dict_keys_are_strings(self):
+        keys = set(ResourceVector().as_dict())
+        assert keys == {resource.value for resource in RESOURCE_TYPES}
+
+    def test_iteration_yields_canonical_order(self):
+        assert list(ResourceVector()) == list(RESOURCE_TYPES)
+
+    def test_items_pairs(self):
+        vector = ResourceVector.from_kwargs(cpu=1.5)
+        items = dict(vector.items())
+        assert items[Resource.CPU] == 1.5
+
+    def test_get_with_default(self):
+        assert ResourceVector().get(Resource.CPU, 7.0) == 0.0
+
+
+class TestDefaults:
+    def test_node_capacity_positive(self):
+        capacity = default_node_capacity()
+        assert all(capacity[resource] > 0 for resource in RESOURCE_TYPES)
+
+    def test_container_limits_positive(self):
+        limits = default_container_limits()
+        assert all(limits[resource] > 0 for resource in RESOURCE_TYPES)
+
+    def test_container_limits_fit_in_node(self):
+        assert default_node_capacity().dominates(default_container_limits())
+
+    def test_limits_and_usage_subclasses(self):
+        assert isinstance(default_container_limits(), ResourceLimits)
+        assert isinstance(ResourceUsage(), ResourceVector)

@@ -1,0 +1,120 @@
+"""Unit and learning tests for the DDPG agent."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rl.ddpg import DDPGAgent, DDPGConfig
+
+
+@pytest.fixture
+def small_agent() -> DDPGAgent:
+    return DDPGAgent(DDPGConfig(state_dim=3, action_dim=2, hidden_units=16, batch_size=8, seed=0))
+
+
+class TestActing:
+    def test_action_shape_and_bounds(self, small_agent):
+        action = small_agent.act(np.zeros(3))
+        assert action.shape == (2,)
+        assert np.all(np.abs(action) <= 1.0)
+
+    def test_deterministic_without_exploration(self, small_agent):
+        state = np.array([0.1, -0.2, 0.3])
+        a = small_agent.act(state, explore=False)
+        b = small_agent.act(state, explore=False)
+        np.testing.assert_allclose(a, b)
+
+    def test_exploration_adds_noise(self, small_agent):
+        state = np.zeros(3)
+        deterministic = small_agent.act(state, explore=False)
+        noisy = small_agent.act(state, explore=True)
+        assert not np.allclose(deterministic, noisy)
+
+    def test_begin_episode_decays_exploration(self, small_agent):
+        initial = small_agent.exploration_scale
+        small_agent.begin_episode()
+        assert small_agent.exploration_scale <= initial
+
+    def test_exploration_floor(self):
+        agent = DDPGAgent(DDPGConfig(state_dim=3, action_dim=2, exploration_decay=0.0, min_exploration=0.1))
+        agent.begin_episode()
+        assert agent.exploration_scale == pytest.approx(0.1)
+
+
+class TestTraining:
+    def test_no_training_before_batch_full(self, small_agent):
+        assert small_agent.train_step() is None
+
+    def test_train_step_returns_metrics(self, small_agent):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            small_agent.remember(rng.normal(size=3), rng.uniform(-1, 1, 2), 1.0, rng.normal(size=3))
+        metrics = small_agent.train_step()
+        assert metrics is not None
+        assert "critic_loss" in metrics and "actor_objective" in metrics
+        assert small_agent.training_steps == 1
+
+    def test_target_networks_track_online_networks(self, small_agent):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            small_agent.remember(rng.normal(size=3), rng.uniform(-1, 1, 2), 1.0, rng.normal(size=3))
+        before = [w.copy() for w in small_agent.target_actor.weights]
+        for _ in range(5):
+            small_agent.train_step()
+        after = small_agent.target_actor.weights
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))
+
+    def test_state_dict_roundtrip(self, small_agent):
+        state = np.array([0.5, -0.5, 0.0])
+        expected = small_agent.act(state, explore=False)
+        snapshot = small_agent.state_dict()
+        restored = DDPGAgent(DDPGConfig(state_dim=3, action_dim=2, hidden_units=16, seed=99))
+        restored.load_state_dict(snapshot)
+        np.testing.assert_allclose(restored.act(state, explore=False), expected)
+
+    def test_learns_simple_bandit(self):
+        """DDPG moves its policy toward the rewarded action region.
+
+        Environment: single state, reward = 1 - (a - 0.5)^2 summed over
+        action dims; the optimal action is 0.5 in both dimensions.
+        """
+        agent = DDPGAgent(
+            DDPGConfig(
+                state_dim=2, action_dim=2, hidden_units=24, batch_size=32,
+                actor_learning_rate=1e-3, critic_learning_rate=1e-2, seed=3,
+            )
+        )
+        rng = np.random.default_rng(0)
+        state = np.zeros(2)
+
+        def reward_of(action: np.ndarray) -> float:
+            return float(1.0 - np.sum((action - 0.5) ** 2))
+
+        initial_action = agent.act(state, explore=False)
+        for _ in range(400):
+            action = agent.act(state, explore=True)
+            agent.remember(state, action, reward_of(action), state)
+            agent.train_step()
+        final_action = agent.act(state, explore=False)
+        assert np.sum((final_action - 0.5) ** 2) < np.sum((initial_action - 0.5) ** 2) + 0.05
+        assert reward_of(final_action) > 0.5
+
+
+class TestConfigDefaults:
+    def test_paper_defaults(self):
+        config = DDPGConfig()
+        assert config.state_dim == 8
+        assert config.action_dim == 5
+        assert config.hidden_units == 40
+        assert config.replay_capacity == 100_000
+        assert config.batch_size == 64
+        assert config.discount == pytest.approx(0.9)
+        assert config.actor_learning_rate == pytest.approx(3e-4)
+        assert config.critic_learning_rate == pytest.approx(3e-3)
+
+    def test_network_shapes_match_paper(self):
+        agent = DDPGAgent()
+        assert agent.actor.layer_sizes == [8, 40, 40, 5]
+        assert agent.critic.layer_sizes == [13, 40, 40, 1]
+        assert agent.actor.activations[-1] == "tanh"

@@ -1,0 +1,166 @@
+"""Unit tests for the numpy MLP and Adam optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.rl.nn import MLP, Adam
+
+
+class TestMLPStructure:
+    def test_forward_shape(self):
+        net = MLP([4, 8, 2], ["relu", "identity"])
+        output = net.forward(np.zeros((5, 4)))
+        assert output.shape == (5, 2)
+
+    def test_single_sample_promoted(self):
+        net = MLP([4, 8, 2], ["relu", "identity"])
+        assert net.forward(np.zeros(4)).shape == (1, 2)
+
+    def test_tanh_output_bounded(self):
+        net = MLP([3, 16, 2], ["relu", "tanh"], seed=1)
+        output = net.forward(np.random.default_rng(0).normal(size=(100, 3)) * 10)
+        assert np.all(np.abs(output) <= 1.0)
+
+    def test_invalid_activation_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([2, 2], ["sigmoid"])
+
+    def test_mismatched_activations_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([2, 2, 2], ["relu"])
+
+    def test_too_few_layers_rejected(self):
+        with pytest.raises(ValueError):
+            MLP([4], [])
+
+    def test_deterministic_init(self):
+        a = MLP([2, 4, 1], ["relu", "identity"], seed=7)
+        b = MLP([2, 4, 1], ["relu", "identity"], seed=7)
+        np.testing.assert_allclose(a.forward([[1.0, 2.0]]), b.forward([[1.0, 2.0]]))
+
+
+class TestGradients:
+    def test_backward_requires_cached_forward(self):
+        net = MLP([2, 4, 1], ["relu", "identity"])
+        with pytest.raises(RuntimeError):
+            net.backward(np.ones((1, 1)))
+
+    def test_gradient_matches_finite_differences(self):
+        """Analytic gradients agree with central finite differences."""
+        net = MLP([3, 5, 1], ["tanh", "identity"], seed=2)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+
+        def loss() -> float:
+            return float(0.5 * np.sum(net.forward(x) ** 2))
+
+        output = net.forward(x, cache=True)
+        weight_grads, bias_grads, _ = net.backward(output)
+
+        epsilon = 1e-6
+        # Check a handful of weight entries in each layer.
+        for layer in range(len(net.weights)):
+            weight = net.weights[layer]
+            for index in [(0, 0), (weight.shape[0] - 1, weight.shape[1] - 1)]:
+                original = weight[index]
+                weight[index] = original + epsilon
+                loss_plus = loss()
+                weight[index] = original - epsilon
+                loss_minus = loss()
+                weight[index] = original
+                numeric = (loss_plus - loss_minus) / (2 * epsilon)
+                assert weight_grads[layer][index] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_grad_input_shape(self):
+        net = MLP([3, 5, 2], ["relu", "identity"])
+        output = net.forward(np.ones((4, 3)), cache=True)
+        _, _, grad_input = net.backward(np.ones_like(output))
+        assert grad_input.shape == (4, 3)
+
+    def test_training_reduces_regression_loss(self):
+        """A small net fits a linear target with Adam."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(128, 2))
+        y = (x @ np.array([[1.0], [-2.0]])) + 0.5
+        net = MLP([2, 16, 1], ["tanh", "identity"], seed=4)
+        optimizer = Adam(net.get_parameters(), learning_rate=0.01)
+        losses = []
+        for _ in range(300):
+            prediction = net.forward(x, cache=True)
+            error = prediction - y
+            losses.append(float(np.mean(error**2)))
+            weight_grads, bias_grads, _ = net.backward(2 * error / len(x))
+            grads = []
+            for wg, bg in zip(weight_grads, bias_grads):
+                grads.append(wg)
+                grads.append(bg)
+            optimizer.step(net.get_parameters(), grads)
+        assert losses[-1] < losses[0] * 0.1
+
+
+class TestParameterManagement:
+    def test_get_set_roundtrip(self):
+        net = MLP([2, 4, 1], ["relu", "identity"], seed=0)
+        params = [p.copy() for p in net.get_parameters()]
+        other = MLP([2, 4, 1], ["relu", "identity"], seed=9)
+        other.set_parameters(params)
+        np.testing.assert_allclose(other.forward([[1.0, 2.0]]), net.forward([[1.0, 2.0]]))
+
+    def test_set_parameters_shape_mismatch_rejected(self):
+        net = MLP([2, 4, 1], ["relu", "identity"])
+        with pytest.raises(ValueError):
+            net.set_parameters([np.zeros((3, 3))] * 4)
+
+    def test_clone_is_independent(self):
+        net = MLP([2, 4, 1], ["relu", "identity"], seed=0)
+        twin = net.clone()
+        twin.weights[0][0, 0] += 1.0
+        assert net.weights[0][0, 0] != twin.weights[0][0, 0]
+
+    def test_soft_update_moves_towards_source(self):
+        target = MLP([2, 4, 1], ["relu", "identity"], seed=0)
+        source = MLP([2, 4, 1], ["relu", "identity"], seed=1)
+        before = abs(target.weights[0] - source.weights[0]).sum()
+        target.soft_update_from(source, tau=0.5)
+        after = abs(target.weights[0] - source.weights[0]).sum()
+        assert after < before
+
+    def test_soft_update_tau_one_copies(self):
+        target = MLP([2, 4, 1], ["relu", "identity"], seed=0)
+        source = MLP([2, 4, 1], ["relu", "identity"], seed=1)
+        target.soft_update_from(source, tau=1.0)
+        np.testing.assert_allclose(target.weights[0], source.weights[0])
+
+    def test_soft_update_invalid_tau_rejected(self):
+        net = MLP([2, 4, 1], ["relu", "identity"])
+        with pytest.raises(ValueError):
+            net.soft_update_from(net.clone(), tau=1.5)
+
+    def test_state_dict_roundtrip(self):
+        net = MLP([2, 4, 1], ["relu", "identity"], seed=5)
+        restored = MLP.from_state_dict(net.state_dict())
+        np.testing.assert_allclose(
+            restored.forward([[0.3, -0.7]]), net.forward([[0.3, -0.7]])
+        )
+
+
+class TestAdam:
+    def test_step_moves_parameters(self):
+        params = [np.ones((2, 2))]
+        optimizer = Adam(params, learning_rate=0.1)
+        optimizer.step(params, [np.ones((2, 2))])
+        assert np.all(params[0] < 1.0)
+
+    def test_mismatched_lengths_rejected(self):
+        optimizer = Adam([np.ones(2)])
+        with pytest.raises(ValueError):
+            optimizer.step([np.ones(2), np.ones(2)], [np.ones(2)])
+
+    def test_converges_on_quadratic(self):
+        params = [np.array([5.0])]
+        optimizer = Adam(params, learning_rate=0.1)
+        for _ in range(500):
+            grad = [2 * params[0]]
+            optimizer.step(params, grad)
+        assert abs(params[0][0]) < 0.05

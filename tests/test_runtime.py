@@ -1,0 +1,164 @@
+"""Integration tests for the application runtime (request execution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.graph import CallEdge, CallPattern, RequestType, ServiceGraph, frontend_profile, logic_profile, background_profile
+from repro.apps.runtime import ApplicationRuntime
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+from repro.tracing.coordinator import TracingCoordinator
+from repro.tracing.span import SpanKind
+
+
+def _tiny_app() -> ServiceGraph:
+    """fe -> (a ∥ b) -> c sequential, plus a background worker."""
+    graph = ServiceGraph("tiny")
+    graph.add_service(frontend_profile("fe", base_ms=1.0))
+    graph.add_service(logic_profile("a", base_ms=2.0))
+    graph.add_service(logic_profile("b", base_ms=3.0))
+    graph.add_service(logic_profile("c", base_ms=1.5))
+    graph.add_service(background_profile("bg", base_ms=10.0))
+    graph.add_request_type(
+        RequestType(
+            name="main",
+            entry_service="fe",
+            call_plan=[
+                CallEdge("a", CallPattern.PARALLEL),
+                CallEdge("b", CallPattern.PARALLEL),
+                CallEdge("c", CallPattern.SEQUENTIAL),
+                CallEdge("bg", CallPattern.BACKGROUND),
+            ],
+            slo_latency_ms=100.0,
+        )
+    )
+    graph.validate()
+    return graph
+
+
+@pytest.fixture
+def tiny_runtime():
+    engine = SimulationEngine()
+    rng = SeededRNG(9)
+    cluster = Cluster(engine, rng)
+    coordinator = TracingCoordinator(engine)
+    runtime = ApplicationRuntime(_tiny_app(), cluster, coordinator, engine)
+    runtime.deploy()
+    return runtime, engine, coordinator, cluster
+
+
+class TestDeployment:
+    def test_deploy_creates_all_services(self, tiny_runtime):
+        runtime, _, _, cluster = tiny_runtime
+        assert set(cluster.services()) == {"fe", "a", "b", "c", "bg"}
+
+    def test_deploy_registers_slos(self, tiny_runtime):
+        runtime, _, coordinator, _ = tiny_runtime
+        assert coordinator.slo_latency_ms["main"] == 100.0
+
+    def test_deploy_is_idempotent(self, tiny_runtime):
+        runtime, _, _, cluster = tiny_runtime
+        count = len(cluster.all_containers())
+        runtime.deploy()
+        assert len(cluster.all_containers()) == count
+
+    def test_submit_before_deploy_raises(self):
+        engine = SimulationEngine()
+        rng = SeededRNG(0)
+        cluster = Cluster(engine, rng)
+        coordinator = TracingCoordinator(engine)
+        runtime = ApplicationRuntime(_tiny_app(), cluster, coordinator, engine)
+        with pytest.raises(RuntimeError):
+            runtime.submit_request("main")
+
+
+class TestExecution:
+    def test_request_completes(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        trace = runtime.submit_request("main")
+        engine.run_until(5.0)
+        assert trace.is_complete
+        assert runtime.completed_requests == 1
+
+    def test_trace_contains_foreground_spans(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        trace = runtime.submit_request("main")
+        engine.run_until(5.0)
+        services = {span.service for span in trace.spans}
+        assert {"fe", "a", "b", "c"} <= services
+
+    def test_background_span_traced_but_not_blocking(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        trace = runtime.submit_request("main")
+        engine.run_until(0.05)
+        # The request should complete well before the 10 ms background task
+        # would have forced it to wait (fe+max(a,b)+c ≈ 6 ms).
+        assert trace.is_complete
+        engine.run_until(5.0)
+        kinds = {span.service: span.kind for span in trace.spans}
+        assert kinds["bg"] is SpanKind.BACKGROUND
+
+    def test_parallel_children_overlap(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        trace = runtime.submit_request("main")
+        engine.run_until(5.0)
+        spans = {span.service: span for span in trace.spans}
+        assert spans["a"].overlaps(spans["b"])
+
+    def test_sequential_child_after_parallel_stage(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        trace = runtime.submit_request("main")
+        engine.run_until(5.0)
+        spans = {span.service: span for span in trace.spans}
+        assert spans["c"].enqueue_time >= max(spans["a"].end_time, spans["b"].end_time) - 1e-9
+
+    def test_root_span_is_entry_service(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        trace = runtime.submit_request("main")
+        engine.run_until(5.0)
+        assert trace.root.service == "fe"
+        assert trace.root.kind is SpanKind.ROOT
+
+    def test_end_to_end_latency_positive(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        trace = runtime.submit_request("main")
+        engine.run_until(5.0)
+        assert trace.end_to_end_latency_ms > 0
+
+    def test_end_to_end_at_least_parallel_stage_max(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        trace = runtime.submit_request("main")
+        engine.run_until(5.0)
+        spans = {span.service: span for span in trace.spans}
+        stage_max = max(spans["a"].sojourn_time_ms, spans["b"].sojourn_time_ms)
+        assert trace.end_to_end_latency_ms >= stage_max
+
+    def test_many_requests_all_complete(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        traces = [runtime.submit_request("main") for _ in range(50)]
+        engine.run_until(30.0)
+        assert all(trace.is_complete for trace in traces)
+        assert runtime.completed_requests == 50
+
+    def test_unknown_request_type_raises(self, tiny_runtime):
+        runtime, _, _, _ = tiny_runtime
+        with pytest.raises(KeyError):
+            runtime.submit_request("nope")
+
+    def test_on_complete_callback_invoked(self, tiny_runtime):
+        runtime, engine, _, _ = tiny_runtime
+        seen = []
+        runtime.submit_request("main", on_complete=lambda trace: seen.append(trace.request_id))
+        engine.run_until(5.0)
+        assert len(seen) == 1
+
+    def test_dropped_requests_counted_once(self, tiny_runtime):
+        runtime, engine, _, cluster = tiny_runtime
+        for instance in cluster.replicas_of("a"):
+            instance.max_queue_length = 0
+        before = runtime.dropped_requests
+        runtime.submit_request("main")
+        engine.run_until(5.0)
+        assert runtime.dropped_requests == before + 1

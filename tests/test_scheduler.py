@@ -1,0 +1,94 @@
+"""Tests for the pluggable placement scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.container import Container
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.resources import Resource, ResourceLimits
+from repro.cluster.scheduler import PlacementPolicy, Scheduler
+from repro.sim.rng import SeededRNG
+
+
+@pytest.fixture
+def nodes():
+    return [Node(NodeSpec(name=f"n{i}")) for i in range(4)]
+
+
+def _occupy(node: Node, cpu: float) -> None:
+    node.add_container(Container("filler", limits=ResourceLimits.from_kwargs(cpu=cpu)))
+
+
+class TestPolicies:
+    def test_spread_picks_least_allocated(self, nodes):
+        _occupy(nodes[0], 32.0)
+        _occupy(nodes[1], 16.0)
+        _occupy(nodes[2], 8.0)
+        scheduler = Scheduler(PlacementPolicy.SPREAD)
+        assert scheduler.place(nodes, ResourceLimits.from_kwargs(cpu=1.0)) is nodes[3]
+
+    def test_binpack_picks_most_allocated_that_fits(self, nodes):
+        _occupy(nodes[0], 32.0)
+        _occupy(nodes[1], 16.0)
+        scheduler = Scheduler(PlacementPolicy.BINPACK)
+        assert scheduler.place(nodes, ResourceLimits.from_kwargs(cpu=1.0)) is nodes[0]
+
+    def test_binpack_respects_capacity(self, nodes):
+        capacity = nodes[0].capacity[Resource.CPU]
+        _occupy(nodes[0], capacity)  # full
+        _occupy(nodes[1], 8.0)
+        scheduler = Scheduler(PlacementPolicy.BINPACK)
+        chosen = scheduler.place(nodes, ResourceLimits.from_kwargs(cpu=4.0))
+        assert chosen is nodes[1]
+
+    def test_random_is_deterministic_per_seed(self, nodes):
+        a = Scheduler(PlacementPolicy.RANDOM, rng=SeededRNG(3))
+        b = Scheduler(PlacementPolicy.RANDOM, rng=SeededRNG(3))
+        for _ in range(5):
+            assert a.place(nodes, None) is b.place(nodes, None)
+
+    def test_anti_affinity_avoids_existing_replicas(self, nodes):
+        nodes[0].add_container(Container("svc"))
+        nodes[1].add_container(Container("svc"))
+        scheduler = Scheduler(PlacementPolicy.ANTI_AFFINITY)
+        chosen = scheduler.place(nodes, None, service_name="svc")
+        assert chosen in (nodes[2], nodes[3])
+
+    def test_anti_affinity_falls_back_when_all_host_service(self, nodes):
+        for node in nodes:
+            node.add_container(Container("svc"))
+        scheduler = Scheduler(PlacementPolicy.ANTI_AFFINITY)
+        assert scheduler.place(nodes, None, service_name="svc") in nodes
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler().place([], None)
+
+    def test_oversized_request_falls_back_to_least_allocated(self, nodes):
+        scheduler = Scheduler(PlacementPolicy.SPREAD)
+        huge = ResourceLimits.from_kwargs(cpu=10_000.0)
+        assert scheduler.place(nodes, huge) in nodes
+
+
+class TestClusterIntegration:
+    def test_cluster_uses_custom_scheduler(self, engine, rng, cpu_profile):
+        cluster = Cluster(
+            engine, rng,
+            node_specs=[NodeSpec(name=f"n{i}") for i in range(3)],
+            scheduler=Scheduler(PlacementPolicy.BINPACK),
+        )
+        first = cluster.deploy_service(cpu_profile, replicas=1)[0]
+        second_profile = type(cpu_profile)(
+            name="other", resource_weights=dict(cpu_profile.resource_weights)
+        )
+        second = cluster.deploy_service(second_profile, replicas=1)[0]
+        # Bin-packing should co-locate both containers on the same node.
+        assert first.container.node is second.container.node
+
+    def test_cluster_default_scheduler_spreads_replicas(self, engine, rng, cpu_profile):
+        cluster = Cluster(engine, rng, node_specs=[NodeSpec(name=f"n{i}") for i in range(3)])
+        instances = cluster.deploy_service(cpu_profile, replicas=3)
+        used = {instance.container.node.name for instance in instances}
+        assert len(used) == 3

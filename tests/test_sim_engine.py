@@ -1,0 +1,195 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventOrderError
+
+
+class TestScheduling:
+    def test_initial_clock_is_zero(self):
+        assert SimulationEngine().now == 0.0
+
+    def test_initial_clock_custom_start(self):
+        assert SimulationEngine(start_time=5.0).now == 5.0
+
+    def test_schedule_and_run_until_fires_event(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda eng: fired.append(eng.now))
+        engine.run_until(2.0)
+        assert fired == [1.0]
+
+    def test_clock_advances_to_run_until_time(self, engine):
+        engine.run_until(10.0)
+        assert engine.now == 10.0
+
+    def test_event_after_horizon_not_fired(self, engine):
+        fired = []
+        engine.schedule(5.0, lambda eng: fired.append(eng.now))
+        engine.run_until(4.0)
+        assert fired == []
+        assert engine.pending_events == 1
+
+    def test_event_exactly_at_horizon_fires(self, engine):
+        fired = []
+        engine.schedule(4.0, lambda eng: fired.append(eng.now))
+        engine.run_until(4.0)
+        assert fired == [4.0]
+
+    def test_schedule_in_past_raises(self, engine):
+        engine.run_until(5.0)
+        with pytest.raises(EventOrderError):
+            engine.schedule(1.0, lambda eng: None)
+
+    def test_schedule_after_negative_delay_raises(self, engine):
+        with pytest.raises(EventOrderError):
+            engine.schedule_after(-1.0, lambda eng: None)
+
+    def test_schedule_after_uses_relative_delay(self, engine):
+        fired = []
+        engine.schedule(2.0, lambda eng: eng.schedule_after(3.0, lambda e: fired.append(e.now)))
+        engine.run_until(10.0)
+        assert fired == [5.0]
+
+    def test_run_until_in_past_raises(self, engine):
+        engine.run_until(5.0)
+        with pytest.raises(EventOrderError):
+            engine.run_until(1.0)
+
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.schedule(3.0, lambda eng: order.append("c"))
+        engine.schedule(1.0, lambda eng: order.append("a"))
+        engine.schedule(2.0, lambda eng: order.append("b"))
+        engine.run_until(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_equal_time_events_fire_in_creation_order(self, engine):
+        order = []
+        engine.schedule(1.0, lambda eng: order.append("first"))
+        engine.schedule(1.0, lambda eng: order.append("second"))
+        engine.run_until(2.0)
+        assert order == ["first", "second"]
+
+    def test_priority_breaks_ties_before_sequence(self, engine):
+        order = []
+        engine.schedule(1.0, lambda eng: order.append("low"), priority=5)
+        engine.schedule(1.0, lambda eng: order.append("high"), priority=0)
+        engine.run_until(2.0)
+        assert order == ["high", "low"]
+
+    def test_cancelled_event_is_skipped(self, engine):
+        fired = []
+        event = engine.schedule(1.0, lambda eng: fired.append("x"))
+        event.cancel()
+        engine.run_until(2.0)
+        assert fired == []
+
+    def test_processed_events_counter(self, engine):
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda eng: None)
+        engine.run_until(10.0)
+        assert engine.processed_events == 3
+
+    def test_stop_halts_run(self, engine):
+        fired = []
+        engine.schedule(1.0, lambda eng: (fired.append(1), eng.stop()))
+        engine.schedule(2.0, lambda eng: fired.append(2))
+        engine.run_until(5.0)
+        assert fired == [1]
+
+    def test_clear_drops_pending_events(self, engine):
+        engine.schedule(1.0, lambda eng: None)
+        engine.clear()
+        assert engine.pending_events == 0
+
+
+class TestRecurring:
+    def test_recurring_event_fires_repeatedly(self, engine):
+        fired = []
+        engine.schedule_recurring(1.0, lambda eng: fired.append(eng.now))
+        engine.run_until(5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_recurring_with_until_stops(self, engine):
+        fired = []
+        engine.schedule_recurring(1.0, lambda eng: fired.append(eng.now), until=3.0)
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_recurring_cancel_stops_future_occurrences(self, engine):
+        fired = []
+        handle = engine.schedule_recurring(1.0, lambda eng: fired.append(eng.now))
+        engine.run_until(2.5)
+        handle.cancel()
+        engine.run_until(6.0)
+        assert fired == [1.0, 2.0]
+
+    def test_recurring_custom_start(self, engine):
+        fired = []
+        engine.schedule_recurring(1.0, lambda eng: fired.append(eng.now), start=3.0)
+        engine.run_until(5.0)
+        assert fired == [3.0, 4.0, 5.0]
+
+    def test_recurring_zero_interval_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.schedule_recurring(0.0, lambda eng: None)
+
+
+class TestRunAndHooks:
+    def test_run_drains_queue(self, engine):
+        fired = []
+        for t in (1.0, 2.0):
+            engine.schedule(t, lambda eng: fired.append(eng.now))
+        engine.run()
+        assert fired == [1.0, 2.0]
+
+    def test_run_max_events_limit(self, engine):
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda eng: None)
+        engine.run(max_events=2)
+        assert engine.processed_events == 2
+        assert engine.pending_events == 1
+
+    def test_trace_hook_called_per_event(self, engine):
+        seen = []
+        engine.add_trace_hook(lambda event: seen.append(event.time))
+        engine.schedule(1.0, lambda eng: None)
+        engine.schedule(2.0, lambda eng: None)
+        engine.run_until(3.0)
+        assert seen == [1.0, 2.0]
+
+    def test_step_returns_false_on_empty_queue(self, engine):
+        assert engine.step() is False
+
+    def test_nested_scheduling_from_callback(self, engine):
+        fired = []
+
+        def chain(eng, depth=0):
+            fired.append(eng.now)
+            if depth < 3:
+                eng.schedule_after(1.0, lambda e: chain(e, depth + 1))
+
+        engine.schedule(1.0, chain)
+        engine.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestEventObject:
+    def test_event_ordering_by_time(self):
+        early = Event(time=1.0)
+        late = Event(time=2.0)
+        assert early < late
+
+    def test_event_ordering_by_priority(self):
+        high = Event(time=1.0, priority=0)
+        low = Event(time=1.0, priority=1)
+        assert high < low
+
+    def test_event_cancel_flag(self):
+        event = Event(time=1.0)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled

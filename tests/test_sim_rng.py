@@ -1,0 +1,90 @@
+"""Unit tests for the seeded RNG family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import SeededRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SeededRNG(42)
+        b = SeededRNG(42)
+        assert a.uniform("x") == b.uniform("x")
+
+    def test_different_seeds_differ(self):
+        a = SeededRNG(1)
+        b = SeededRNG(2)
+        draws_a = [a.uniform("x") for _ in range(5)]
+        draws_b = [b.uniform("x") for _ in range(5)]
+        assert draws_a != draws_b
+
+    def test_different_stream_names_are_independent(self):
+        rng = SeededRNG(7)
+        first = [rng.uniform("a") for _ in range(5)]
+        rng2 = SeededRNG(7)
+        # Drawing from stream "b" first must not change stream "a".
+        rng2.uniform("b")
+        second = [rng2.uniform("a") for _ in range(5)]
+        assert first == second
+
+    def test_stream_is_cached(self):
+        rng = SeededRNG(3)
+        assert rng.stream("s") is rng.stream("s")
+
+    def test_spawn_is_deterministic(self):
+        a = SeededRNG(5).spawn("child")
+        b = SeededRNG(5).spawn("child")
+        assert a.seed == b.seed
+        assert a.uniform("x") == b.uniform("x")
+
+    def test_spawn_differs_from_parent(self):
+        parent = SeededRNG(5)
+        child = parent.spawn("child")
+        assert child.seed != parent.seed
+
+
+class TestDistributions:
+    def test_uniform_bounds(self):
+        rng = SeededRNG(0)
+        draws = [rng.uniform("u", 2.0, 3.0) for _ in range(200)]
+        assert all(2.0 <= d <= 3.0 for d in draws)
+
+    def test_exponential_positive(self):
+        rng = SeededRNG(0)
+        draws = [rng.exponential("e", 0.5) for _ in range(200)]
+        assert all(d >= 0 for d in draws)
+        assert np.mean(draws) == pytest.approx(0.5, rel=0.3)
+
+    def test_normal_mean(self):
+        rng = SeededRNG(0)
+        draws = [rng.normal("n", 10.0, 1.0) for _ in range(500)]
+        assert np.mean(draws) == pytest.approx(10.0, abs=0.2)
+
+    def test_lognormal_positive(self):
+        rng = SeededRNG(0)
+        draws = [rng.lognormal("l", 0.0, 0.5) for _ in range(100)]
+        assert all(d > 0 for d in draws)
+
+    def test_choice_returns_member(self):
+        rng = SeededRNG(0)
+        options = ["a", "b", "c"]
+        for _ in range(20):
+            assert rng.choice("c", options) in options
+
+    def test_choice_with_weights_respects_zero_probability(self):
+        rng = SeededRNG(0)
+        options = ["a", "b"]
+        draws = {rng.choice("w", options, p=[1.0, 0.0]) for _ in range(50)}
+        assert draws == {"a"}
+
+    def test_integers_range(self):
+        rng = SeededRNG(0)
+        draws = [rng.integers("i", 3, 7) for _ in range(100)]
+        assert all(3 <= d < 7 for d in draws)
+
+    def test_integers_returns_python_int(self):
+        rng = SeededRNG(0)
+        assert isinstance(rng.integers("i", 0, 10), int)

@@ -1,0 +1,120 @@
+"""Unit tests for the incremental SVM and RBF feature map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.svm import IncrementalSVM, RBFFeatureMap, SVMConfig
+
+
+class TestRBFFeatureMap:
+    def test_output_shape(self):
+        feature_map = RBFFeatureMap(input_dim=2, n_components=16)
+        output = feature_map.transform(np.zeros((5, 2)))
+        assert output.shape == (5, 16)
+
+    def test_single_row_promoted(self):
+        feature_map = RBFFeatureMap(input_dim=2, n_components=8)
+        output = feature_map.transform(np.zeros(2))
+        assert output.shape == (1, 8)
+
+    def test_wrong_dimension_rejected(self):
+        feature_map = RBFFeatureMap(input_dim=2)
+        with pytest.raises(ValueError):
+            feature_map.transform(np.zeros((3, 5)))
+
+    def test_deterministic_given_seed(self):
+        a = RBFFeatureMap(input_dim=2, seed=3).transform([[1.0, 2.0]])
+        b = RBFFeatureMap(input_dim=2, seed=3).transform([[1.0, 2.0]])
+        np.testing.assert_allclose(a, b)
+
+    def test_bounded_features(self):
+        feature_map = RBFFeatureMap(input_dim=2, n_components=32)
+        output = feature_map.transform(np.random.default_rng(0).normal(size=(50, 2)))
+        bound = np.sqrt(2.0 / 32) + 1e-9
+        assert np.all(np.abs(output) <= bound)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RBFFeatureMap(input_dim=0)
+        with pytest.raises(ValueError):
+            RBFFeatureMap(input_dim=2, gamma=-1.0)
+
+
+class TestColdStart:
+    def test_untrained_flag(self):
+        assert IncrementalSVM().is_trained is False
+
+    def test_cold_start_requires_both_features_high(self):
+        svm = IncrementalSVM()
+        assert svm.classify_one(0.9, 5.0) is True
+        assert svm.classify_one(0.9, 1.0) is False
+        assert svm.classify_one(0.1, 5.0) is False
+        assert svm.classify_one(0.1, 1.0) is False
+
+    def test_cold_start_scores_ordered(self):
+        svm = IncrementalSVM()
+        strong = svm.decision_function(np.array([[0.95, 8.0]]))[0]
+        weak = svm.decision_function(np.array([[0.3, 1.5]]))[0]
+        assert strong > weak
+
+
+class TestTraining:
+    def _separable_data(self, n=200, seed=0):
+        rng = np.random.default_rng(seed)
+        # Culprits: high RI and high CI; healthy: low on both.
+        culprits = np.column_stack([rng.uniform(0.7, 1.0, n), rng.uniform(4.0, 10.0, n)])
+        healthy = np.column_stack([rng.uniform(0.0, 0.4, n), rng.uniform(1.0, 2.0, n)])
+        features = np.vstack([culprits, healthy])
+        labels = np.array([1] * n + [0] * n)
+        return features, labels
+
+    def test_partial_fit_reduces_loss(self):
+        svm = IncrementalSVM(config=SVMConfig(epochs_per_fit=2))
+        features, labels = self._separable_data()
+        first = svm.partial_fit(features, labels)
+        last = first
+        for _ in range(20):
+            last = svm.partial_fit(features, labels)
+        assert last <= first
+
+    def test_accuracy_on_separable_data(self):
+        svm = IncrementalSVM()
+        features, labels = self._separable_data()
+        for _ in range(30):
+            svm.partial_fit(features, labels)
+        assert svm.score(features, labels) > 0.9
+
+    def test_incremental_updates_accumulate(self):
+        svm = IncrementalSVM()
+        features, labels = self._separable_data(n=50)
+        for start in range(0, 100, 10):
+            svm.partial_fit(features[start:start + 10], labels[start:start + 10])
+        assert svm.is_trained
+        assert svm.samples_seen == 100
+
+    def test_mismatched_lengths_rejected(self):
+        svm = IncrementalSVM()
+        with pytest.raises(ValueError):
+            svm.partial_fit(np.zeros((3, 2)), [1, 0])
+
+    def test_classify_shape(self):
+        svm = IncrementalSVM()
+        features, labels = self._separable_data(n=20)
+        svm.partial_fit(features, labels)
+        decisions = svm.classify(features)
+        assert decisions.shape == (40,)
+        assert decisions.dtype == bool
+
+    def test_score_empty_is_zero(self):
+        svm = IncrementalSVM()
+        assert svm.score(np.zeros((0, 2)), []) == 0.0
+
+    def test_generalizes_to_unseen_points(self):
+        svm = IncrementalSVM()
+        features, labels = self._separable_data(seed=1)
+        for _ in range(30):
+            svm.partial_fit(features, labels)
+        assert svm.classify_one(0.85, 6.0) is True
+        assert svm.classify_one(0.1, 1.2) is False

@@ -1,0 +1,118 @@
+"""Tests for the offline trace analysis utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tracing.analysis import (
+    critical_path_churn,
+    critical_path_frequencies,
+    latency_breakdown,
+    observed_dependency_graph,
+    tail_amplification,
+    variability_report,
+)
+from repro.tracing.span import Span, SpanKind
+from repro.tracing.trace import Trace
+
+
+def _trace(index: int, slow_service: str = "b", slow_ms: float = 30.0) -> Trace:
+    """fe -> (a ∥ b) fan-out with one configurable slow (dominant) branch."""
+    trace = Trace(f"r{index}", "main")
+    trace.arrival_time = 0.0
+    durations = {"a": 0.010, "b": 0.010}
+    durations[slow_service] = slow_ms / 1000.0
+    total = 0.002 + max(durations.values())
+    root = Span(
+        request_id=f"r{index}", service="fe", instance="fe#0", kind=SpanKind.ROOT,
+        enqueue_time=0.0, start_time=0.0, end_time=total,
+    )
+    trace.add_span(root)
+    a = Span(
+        request_id=f"r{index}", service="a", instance="a#0", parent_id=root.span_id,
+        kind=SpanKind.PARALLEL,
+        enqueue_time=0.001, start_time=0.001, end_time=0.001 + durations["a"],
+    )
+    b = Span(
+        request_id=f"r{index}", service="b", instance="b#0", parent_id=root.span_id,
+        kind=SpanKind.PARALLEL,
+        enqueue_time=0.001, start_time=0.001, end_time=0.001 + durations["b"],
+    )
+    trace.add_span(a)
+    trace.add_span(b)
+    trace.mark_complete(root.end_time)
+    return trace
+
+
+@pytest.fixture
+def traces():
+    return [_trace(i) for i in range(20)]
+
+
+class TestLatencyBreakdown:
+    def test_breakdown_covers_all_services(self, traces):
+        breakdown = latency_breakdown(traces)
+        assert {entry.service for entry in breakdown} == {"fe", "a", "b"}
+
+    def test_shares_sum_to_one(self, traces):
+        breakdown = latency_breakdown(traces)
+        assert sum(entry.share_of_total for entry in breakdown) == pytest.approx(1.0)
+
+    def test_slow_service_has_largest_share(self, traces):
+        breakdown = latency_breakdown(traces)
+        assert breakdown[0].service in {"b", "fe"}  # fe's sojourn covers children
+
+    def test_empty_input(self):
+        assert latency_breakdown([]) == []
+
+
+class TestCriticalPathAnalysis:
+    def test_frequencies_single_signature(self, traces):
+        frequencies = critical_path_frequencies(traces)
+        assert len(frequencies) == 1
+        assert frequencies[0][1] == 20
+
+    def test_churn_zero_for_static_cp(self, traces):
+        assert critical_path_churn(traces) == 0.0
+
+    def test_churn_positive_when_cp_alternates(self):
+        mixed = []
+        for index in range(10):
+            slow = "a" if index % 2 == 0 else "b"
+            mixed.append(_trace(index, slow_service=slow, slow_ms=40.0))
+        assert critical_path_churn(mixed) > 0.5
+
+    def test_churn_with_few_traces(self):
+        assert critical_path_churn([_trace(0)]) == 0.0
+
+
+class TestDependencyGraph:
+    def test_edges_follow_parent_child(self, traces):
+        graph = observed_dependency_graph(traces)
+        assert graph.has_edge("fe", "a")
+        assert graph.has_edge("fe", "b")
+        assert not graph.has_edge("a", "b")
+
+    def test_call_counts_accumulate(self, traces):
+        graph = observed_dependency_graph(traces)
+        assert graph["fe"]["a"]["calls"] == 20
+
+
+class TestVariabilityAndTails:
+    def test_variability_report_identifies_variance_leader(self):
+        mixed = [
+            _trace(index, slow_service="b", slow_ms=10.0 if index % 2 else 80.0)
+            for index in range(30)
+        ]
+        report = variability_report(mixed)
+        assert report is not None
+        assert report.highest_variance in {"b", "fe"}
+        assert set(report.per_service_median) == {"fe", "a", "b"}
+
+    def test_variability_report_empty(self):
+        assert variability_report([]) is None
+
+    def test_tail_amplification_keys_by_request_type(self, traces):
+        amplification = tail_amplification(traces)
+        assert set(amplification) == {"main"}
+        assert amplification["main"] >= 1.0

@@ -1,0 +1,149 @@
+"""Unit tests for workload patterns and the open-loop generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import social_network
+from repro.apps.runtime import ApplicationRuntime
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import SeededRNG
+from repro.tracing.coordinator import TracingCoordinator
+from repro.workload.generators import WorkloadGenerator
+from repro.workload.patterns import (
+    ConstantPattern,
+    DiurnalPattern,
+    ExponentialRampPattern,
+    SpikePattern,
+    StepPattern,
+)
+
+
+class TestPatterns:
+    def test_constant_rate(self):
+        pattern = ConstantPattern(rate=50.0)
+        assert pattern.rate_at(0.0) == 50.0
+        assert pattern.rate_at(1000.0) == 50.0
+
+    def test_constant_negative_clamped(self):
+        assert ConstantPattern(rate=-5.0).rate_at(0.0) == 0.0
+
+    def test_diurnal_oscillates(self):
+        pattern = DiurnalPattern(base_rate=100.0, amplitude=50.0, period_s=100.0)
+        peak = pattern.rate_at(25.0)
+        trough = pattern.rate_at(75.0)
+        assert peak == pytest.approx(150.0)
+        assert trough == pytest.approx(50.0)
+
+    def test_diurnal_never_negative(self):
+        pattern = DiurnalPattern(base_rate=10.0, amplitude=100.0, period_s=100.0)
+        assert pattern.rate_at(75.0) == 0.0
+
+    def test_exponential_ramp_grows(self):
+        pattern = ExponentialRampPattern(initial_rate=10.0, growth_per_s=0.1)
+        assert pattern.rate_at(10.0) > pattern.rate_at(0.0)
+
+    def test_exponential_ramp_capped(self):
+        pattern = ExponentialRampPattern(initial_rate=10.0, growth_per_s=1.0, max_rate=100.0)
+        assert pattern.rate_at(100.0) == 100.0
+
+    def test_spike_pattern_inside_and_outside(self):
+        pattern = SpikePattern(base_rate=10.0, spikes=[(5.0, 2.0, 100.0)])
+        assert pattern.rate_at(4.0) == 10.0
+        assert pattern.rate_at(6.0) == 100.0
+        assert pattern.rate_at(7.5) == 10.0
+
+    def test_step_pattern_progression(self):
+        pattern = StepPattern(steps=[(10.0, 5.0), (10.0, 20.0)])
+        assert pattern.rate_at(5.0) == 5.0
+        assert pattern.rate_at(15.0) == 20.0
+        assert pattern.rate_at(50.0) == 20.0  # last step persists
+
+    def test_step_sweep_constructor(self):
+        pattern = StepPattern.sweep([1.0, 2.0, 3.0], step_duration_s=5.0)
+        assert pattern.rate_at(12.0) == 3.0
+
+    def test_mean_rate_constant(self):
+        assert ConstantPattern(rate=42.0).mean_rate(100.0) == pytest.approx(42.0)
+
+    def test_mean_rate_zero_duration(self):
+        assert ConstantPattern(rate=42.0).mean_rate(0.0) == 0.0
+
+
+@pytest.fixture
+def generator_setup():
+    engine = SimulationEngine()
+    rng = SeededRNG(17)
+    cluster = Cluster(engine, rng)
+    coordinator = TracingCoordinator(engine)
+    runtime = ApplicationRuntime(social_network(), cluster, coordinator, engine)
+    runtime.deploy()
+    return engine, rng, runtime, coordinator
+
+
+class TestGenerator:
+    def test_generates_expected_volume(self, generator_setup):
+        engine, rng, runtime, _ = generator_setup
+        generator = WorkloadGenerator(runtime, engine, rng, pattern=ConstantPattern(rate=100.0))
+        generator.start(duration_s=10.0)
+        engine.run_until(10.0)
+        assert generator.generated_requests == pytest.approx(1000, rel=0.2)
+
+    def test_respects_duration(self, generator_setup):
+        engine, rng, runtime, _ = generator_setup
+        generator = WorkloadGenerator(runtime, engine, rng, pattern=ConstantPattern(rate=50.0))
+        generator.start(duration_s=5.0)
+        engine.run_until(20.0)
+        count_at_5s = generator.generated_requests
+        engine.run_until(30.0)
+        assert generator.generated_requests == count_at_5s
+        assert not generator.is_running
+
+    def test_stop_halts_generation(self, generator_setup):
+        engine, rng, runtime, _ = generator_setup
+        generator = WorkloadGenerator(runtime, engine, rng, pattern=ConstantPattern(rate=50.0))
+        generator.start()
+        engine.run_until(2.0)
+        generator.stop()
+        count = generator.generated_requests
+        engine.run_until(10.0)
+        assert generator.generated_requests == count
+
+    def test_request_mix_observed(self, generator_setup):
+        engine, rng, runtime, _ = generator_setup
+        generator = WorkloadGenerator(
+            runtime, engine, rng,
+            pattern=ConstantPattern(rate=100.0),
+            request_mix=[("post-compose", 0.5), ("read-timeline", 0.5)],
+        )
+        generator.start(duration_s=10.0)
+        engine.run_until(10.0)
+        mix = generator.observed_mix()
+        assert set(mix) == {"post-compose", "read-timeline"}
+        assert mix["post-compose"] == pytest.approx(0.5, abs=0.1)
+
+    def test_default_mix_from_application(self, generator_setup):
+        engine, rng, runtime, _ = generator_setup
+        generator = WorkloadGenerator(runtime, engine, rng)
+        names = {name for name, _ in generator.request_mix}
+        assert names == set(runtime.app.request_types)
+
+    def test_zero_weight_mix_rejected(self, generator_setup):
+        engine, rng, runtime, _ = generator_setup
+        with pytest.raises(ValueError):
+            WorkloadGenerator(
+                runtime, engine, rng, request_mix=[("post-compose", 0.0)]
+            )
+
+    def test_observed_mix_empty_before_start(self, generator_setup):
+        engine, rng, runtime, _ = generator_setup
+        generator = WorkloadGenerator(runtime, engine, rng)
+        assert generator.observed_mix() == {}
+
+    def test_open_loop_traces_created(self, generator_setup):
+        engine, rng, runtime, coordinator = generator_setup
+        generator = WorkloadGenerator(runtime, engine, rng, pattern=ConstantPattern(rate=20.0))
+        generator.start(duration_s=5.0)
+        engine.run_until(10.0)
+        assert len(coordinator.store) == generator.generated_requests
