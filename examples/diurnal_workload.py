@@ -14,6 +14,7 @@ Usage::
 from __future__ import annotations
 
 from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec
 from repro.workload.patterns import DiurnalPattern, SpikePattern
 
 
@@ -29,9 +30,14 @@ class DiurnalWithSpike(DiurnalPattern):
 
 
 def main() -> None:
-    harness = ExperimentHarness.build(application="media_service", seed=11)
-    harness.attach_workload(pattern=DiurnalWithSpike())
-    harness.attach_firm()
+    spec = ScenarioSpec(
+        application="media_service",
+        seed=11,
+        duration_s=240.0,
+        pattern=DiurnalWithSpike(),
+        controller="firm",
+    )
+    harness = ExperimentHarness.from_spec(spec)
 
     timeline = []
 

@@ -25,6 +25,7 @@ from repro.anomaly.campaigns import AnomalyCampaign
 from repro.core.critical_component import CriticalComponentExtractor
 from repro.core.critical_path import CriticalPathExtractor
 from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec
 
 
 def main() -> None:
@@ -33,8 +34,6 @@ def main() -> None:
     parser.add_argument("--intensity", type=float, default=0.95, help="anomaly intensity in [0,1]")
     args = parser.parse_args()
 
-    harness = ExperimentHarness.build(application="hotel_reservation", seed=7)
-    harness.attach_workload(load_rps=50.0)
     campaign = AnomalyCampaign("localization-study")
     campaign.add(
         AnomalySpec(
@@ -45,7 +44,16 @@ def main() -> None:
             intensity=args.intensity,
         )
     )
-    harness.attach_injector(campaign)
+    harness = ExperimentHarness.from_spec(
+        ScenarioSpec(
+            application="hotel_reservation",
+            seed=7,
+            duration_s=55.0,
+            load_rps=50.0,
+            controller="none",
+            campaign=campaign,
+        )
+    )
     print(f"Injecting CPU contention into {args.target!r} and collecting traces ...")
     harness.run(duration_s=55.0)
 

@@ -14,14 +14,11 @@ from __future__ import annotations
 
 from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
-from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec, run_scenario as run_spec
 
 
 def run_scenario(with_firm: bool) -> dict:
     """Run one 90-second scenario and return its headline numbers."""
-    harness = ExperimentHarness.build(application="social_network", seed=42)
-    harness.attach_workload(load_rps=50.0)
-
     campaign = AnomalyCampaign("quickstart")
     for target in ("post-storage-memcached", "user-timeline-memcached", "composePost"):
         campaign.add(
@@ -35,12 +32,15 @@ def run_scenario(with_firm: bool) -> dict:
                 intensity=0.95,
             )
         )
-    harness.attach_injector(campaign)
-
-    if with_firm:
-        harness.attach_firm()
-
-    result = harness.run(duration_s=90.0)
+    spec = ScenarioSpec(
+        application="social_network",
+        seed=42,
+        duration_s=90.0,
+        load_rps=50.0,
+        controller="firm" if with_firm else "none",
+        campaign=campaign,
+    )
+    result = run_spec(spec)
     return {
         "controller": "FIRM" if with_firm else "none",
         "completed": result.slo.completed,

@@ -117,7 +117,7 @@ class ApplicationRuntime:
         enqueue_time = self.engine.now
 
         def _entry_done(entry_span: Span) -> None:
-            trace.mark_complete(self.engine.now)
+            self.coordinator.complete_trace(trace, self.engine.now)
             self.completed_requests += 1
             if on_complete is not None:
                 on_complete(trace)
@@ -265,7 +265,7 @@ class ApplicationRuntime:
             )
             self.coordinator.record_span(trace, span)
             if not trace.dropped:
-                trace.mark_dropped()
+                self.coordinator.drop_trace(trace)
                 self.dropped_requests += 1
             if on_done is not None:
                 on_done()

@@ -1,20 +1,40 @@
-"""Baseline autoscalers compared against FIRM in the evaluation.
+"""Resource controllers: the registry, the ABC, and the rule-based baselines.
 
-Two rule-based baselines from the paper (§4.1):
+Controllers are pluggable: every policy registers itself by name with
+:func:`~repro.baselines.base.register_controller` and experiments
+instantiate them through :func:`~repro.baselines.base.create_controller`.
+The two rule-based baselines from the paper (§4.1):
 
-* :class:`~repro.baselines.kubernetes_hpa.KubernetesAutoscaler` -- the
-  Kubernetes horizontal/vertical autoscaling heuristic driven only by CPU
-  utilization.
-* :class:`~repro.baselines.aimd.AIMDController` -- additive-increase /
-  multiplicative-decrease control of per-container resource limits.
+* :class:`~repro.baselines.kubernetes_hpa.KubernetesAutoscaler`
+  (``"kubernetes_hpa"``, alias ``"k8s"``) -- the Kubernetes
+  horizontal/vertical autoscaling heuristic driven only by CPU utilization.
+* :class:`~repro.baselines.aimd.AIMDController` (``"aimd"``) --
+  additive-increase / multiplicative-decrease control of per-container
+  resource limits.
+
+FIRM itself registers as ``"firm"`` (alias ``"firm_single"``) and
+``"firm_multi"`` in :mod:`repro.core.firm`; ``"none"`` is the unmanaged
+policy.
 """
 
-from repro.baselines.base import BaselineController
+from repro.baselines.base import (
+    BaselineController,
+    ResourceController,
+    available_controllers,
+    create_controller,
+    register_controller,
+    resolve_controller_name,
+)
 from repro.baselines.kubernetes_hpa import KubernetesAutoscaler, HPAConfig
 from repro.baselines.aimd import AIMDController, AIMDConfig
 
 __all__ = [
     "BaselineController",
+    "ResourceController",
+    "available_controllers",
+    "create_controller",
+    "register_controller",
+    "resolve_controller_name",
     "KubernetesAutoscaler",
     "HPAConfig",
     "AIMDController",

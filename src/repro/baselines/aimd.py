@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.baselines.base import BaselineController
+from repro.baselines.base import BaselineController, register_controller
 from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
 
 
@@ -47,6 +47,7 @@ class AIMDConfig:
     )
 
 
+@register_controller("aimd")
 class AIMDController(BaselineController):
     """Additive-increase / multiplicative-decrease limit controller."""
 

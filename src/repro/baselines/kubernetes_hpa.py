@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.baselines.base import BaselineController
+from repro.baselines.base import BaselineController, register_controller
 from repro.cluster.resources import Resource
 
 
@@ -42,6 +42,7 @@ class HPAConfig:
     max_step: int = 1
 
 
+@register_controller("kubernetes_hpa", aliases=("k8s",))
 class KubernetesAutoscaler(BaselineController):
     """CPU-utilization-driven replica autoscaler (the K8s default)."""
 

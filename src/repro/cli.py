@@ -6,6 +6,8 @@ Usage::
     python -m repro.cli run fig1 --out results/fig1.json
     python -m repro.cli run table6
     python -m repro.cli compare --application social_network --duration 120
+    python -m repro.cli sweep --application social_network \
+        --seeds 0,1,2 --controllers firm,aimd --workers 2
 
 The CLI is a thin wrapper over :mod:`repro.experiments`; every experiment
 is also importable and runnable programmatically (see the examples/
@@ -141,7 +143,64 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--duration", type=float, default=120.0)
     compare_parser.add_argument("--load", type=float, default=60.0)
     compare_parser.add_argument("--out", default=None)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run a seed x load x controller grid of scenarios, optionally in parallel",
+    )
+    sweep_parser.add_argument(
+        "--application", default="social_network",
+        help="comma-separated benchmark application(s)",
+    )
+    sweep_parser.add_argument(
+        "--controllers", default="firm,aimd,k8s",
+        help="comma-separated controller registry names",
+    )
+    sweep_parser.add_argument(
+        "--seeds", default="0", help="comma-separated experiment seeds"
+    )
+    sweep_parser.add_argument(
+        "--loads", default="50", help="comma-separated offered loads (req/s)"
+    )
+    sweep_parser.add_argument("--duration", type=float, default=60.0, help="scenario duration (simulated s)")
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (1 = serial)"
+    )
+    sweep_parser.add_argument(
+        "--anomaly-rate", type=float, default=0.0,
+        help="random anomaly arrivals per second (0 disables injection)",
+    )
+    sweep_parser.add_argument("--out", default=None, help="write the JSON result to this path")
     return parser
+
+
+def _csv_list(text: str, convert=str) -> list:
+    """Split a comma-separated CLI value, dropping empty items."""
+    return [convert(item.strip()) for item in text.split(",") if item.strip()]
+
+
+def _run_sweep(args: argparse.Namespace):
+    from repro.baselines.base import resolve_controller_name
+    from repro.experiments.sweep import run_sweep, sweep_grid
+
+    # Fail fast on typos before any scenario of the grid runs.
+    for controller in _csv_list(args.controllers):
+        resolve_controller_name(controller)
+
+    specs = sweep_grid(
+        applications=_csv_list(args.application),
+        controllers=_csv_list(args.controllers),
+        seeds=_csv_list(args.seeds, int),
+        loads_rps=_csv_list(args.loads, float),
+        duration_s=args.duration,
+        anomaly_rate_per_s=args.anomaly_rate,
+    )
+
+    def _progress(done: int, total: int, outcome) -> None:
+        print(f"[{done}/{total}] {outcome.scenario_id}", file=sys.stderr)
+
+    outcomes = run_sweep(specs, workers=args.workers, progress=_progress)
+    return [outcome.as_dict() for outcome in outcomes]
 
 
 def main(argv=None) -> int:
@@ -164,6 +223,8 @@ def main(argv=None) -> int:
             include_multi_rl=False,
         )
         payload = {name: res.summary() for name, res in result.results.items()}
+    elif args.command == "sweep":
+        payload = _run_sweep(args)
     else:
         runner = EXPERIMENTS[args.experiment]
         payload = _to_jsonable(runner(args))

@@ -22,8 +22,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import dataclasses
+
 import numpy as np
 
+from repro.baselines.base import ResourceController, register_controller
 from repro.cluster.cluster import Cluster
 from repro.cluster.instance import MicroserviceInstance
 from repro.cluster.orchestrator import Orchestrator
@@ -106,7 +109,8 @@ class ControlRoundRecord:
     mean_reward: float
 
 
-class FIRMController:
+@register_controller("firm", aliases=("firm_single",))
+class FIRMController(ResourceController):
     """The full FIRM resource-management loop over a simulated cluster."""
 
     def __init__(
@@ -119,10 +123,14 @@ class FIRMController:
         shared_agent: Optional[DDPGAgent] = None,
         svm: Optional[IncrementalSVM] = None,
     ) -> None:
-        self.cluster = cluster
-        self.coordinator = coordinator
-        self.engine = engine
         self.config = config or FIRMConfig()
+        super().__init__(
+            cluster,
+            coordinator,
+            orchestrator,
+            engine,
+            control_interval_s=self.config.control_interval_s,
+        )
         self.svm = svm if svm is not None else IncrementalSVM(input_dim=2)
         self.extractor = Extractor(
             coordinator, svm=self.svm, window_s=self.config.window_s
@@ -138,7 +146,6 @@ class FIRMController:
         #: Last right-sizing time per container id (rate-limits reclaim).
         self._last_reclaim: Dict[str, float] = {}
         self.rounds: List[ControlRoundRecord] = []
-        self._running = False
 
     # ----------------------------------------------------------------- agents
     def agent_for(self, service_name: str) -> DDPGAgent:
@@ -175,21 +182,6 @@ class FIRMController:
         return min(self.coordinator.slo_latency_ms.values())
 
     # ------------------------------------------------------------------ loop
-    def start(self) -> None:
-        """Start the periodic control loop on the simulation engine."""
-        if self._running:
-            return
-        self._running = True
-        self.engine.schedule_recurring(
-            self.config.control_interval_s,
-            lambda eng: self.control_round(),
-            name="firm-control",
-        )
-
-    def stop(self) -> None:
-        """Stop scheduling further control rounds."""
-        self._running = False
-
     def control_round(self) -> ControlRoundRecord:
         """Run one detect -> localize -> estimate -> actuate round."""
         if not self._running and self.rounds:
@@ -409,3 +401,12 @@ class FIRMController:
     def train_svm_from_ground_truth(self, culprit_services: List[str]) -> float:
         """Expose the Extractor's online SVM training (used during campaigns)."""
         return self.extractor.train_svm(culprit_services)
+
+
+@register_controller("firm_multi")
+def _firm_one_for_each(
+    cluster, coordinator, orchestrator, engine, config: Optional[FIRMConfig] = None, **kwargs
+) -> FIRMController:
+    """FIRM with per-microservice ("one-for-each") agents."""
+    config = dataclasses.replace(config or FIRMConfig(), per_service_agents=True)
+    return FIRMController(cluster, coordinator, orchestrator, engine, config=config, **kwargs)

@@ -2,9 +2,13 @@
 
 Each module regenerates one table or figure from the evaluation; the
 per-experiment index in ``DESIGN.md`` maps paper artefacts to modules and
-benchmark targets.
+benchmark targets.  Scenarios are described by
+:class:`~repro.experiments.scenario.ScenarioSpec` and grids of them run —
+serially or across worker processes — through
+:mod:`repro.experiments.sweep`.
 """
 
 from repro.experiments.harness import ExperimentHarness, ExperimentResult
+from repro.experiments.scenario import ScenarioSpec, run_scenario
 
-__all__ = ["ExperimentHarness", "ExperimentResult"]
+__all__ = ["ExperimentHarness", "ExperimentResult", "ScenarioSpec", "run_scenario"]

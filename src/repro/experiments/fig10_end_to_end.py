@@ -17,12 +17,11 @@ equally, which the experiment also reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
-from repro.anomaly.anomalies import ANOMALY_TYPES, AnomalyType
-from repro.anomaly.campaigns import random_campaign
-from repro.core.firm import FIRMConfig
-from repro.experiments.harness import ExperimentHarness, ExperimentResult
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.scenario import ScenarioSpec, random_campaign_builder, run_scenario
 from repro.metrics.latency import cdf_points
 
 
@@ -76,11 +75,6 @@ class Fig10Result:
         }
 
 
-def _campaign_types() -> List[AnomalyType]:
-    """Resource anomaly types used for the end-to-end comparison."""
-    return [a for a in ANOMALY_TYPES if a is not AnomalyType.WORKLOAD_VARIATION]
-
-
 def run_fig10(
     application: str = "social_network",
     duration_s: float = 120.0,
@@ -104,26 +98,19 @@ def run_fig10(
 
     result = Fig10Result()
     for controller in controllers:
-        harness = ExperimentHarness.build(application, seed=seed)
-        harness.attach_workload(load_rps=load_rps)
-        campaign = random_campaign(
-            harness.app.service_names(),
-            harness.rng,
+        spec = ScenarioSpec(
+            application=application,
+            seed=seed,
             duration_s=duration_s,
-            rate_per_s=anomaly_rate_per_s,
-            min_intensity=min_intensity,
-            anomaly_types=_campaign_types(),
+            load_rps=load_rps,
+            controller=controller,
+            campaign_builder=partial(
+                random_campaign_builder,
+                duration_s=duration_s,
+                rate_per_s=anomaly_rate_per_s,
+                min_intensity=min_intensity,
+                resource_only=True,
+            ),
         )
-        harness.attach_injector(campaign)
-        if controller == "k8s":
-            harness.attach_kubernetes_autoscaler()
-        elif controller == "aimd":
-            harness.attach_aimd()
-        elif controller == "firm_single":
-            harness.attach_firm(FIRMConfig(per_service_agents=False))
-        elif controller == "firm_multi":
-            harness.attach_firm(FIRMConfig(per_service_agents=True))
-        elif controller != "none":
-            raise ValueError(f"unknown controller {controller!r}")
-        result.results[controller] = harness.run(duration_s=duration_s, load_rps=load_rps)
+        result.results[controller] = run_scenario(spec)
     return result

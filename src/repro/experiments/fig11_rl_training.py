@@ -24,10 +24,11 @@ import numpy as np
 
 from repro.anomaly.anomalies import ANOMALY_TYPES, AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
-from repro.core.firm import FIRMConfig, FIRMController
+from repro.core.firm import FIRMConfig
 from repro.core.rl.ddpg import DDPGAgent, DDPGConfig
 from repro.core.rl.transfer import transfer_agent
 from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec, run_scenario
 from repro.sim.rng import SeededRNG
 
 
@@ -89,10 +90,9 @@ def _training_episode(
     per_service: bool,
 ) -> EpisodeOutcome:
     """Run one training episode: one anomaly, FIRM mitigating with ``agent``."""
-    harness = ExperimentHarness.build(application, seed=rng.integers("episode-seed", 0, 2**31))
-    harness.attach_workload(load_rps=load_rps)
+    from repro.apps.catalog import build_application
 
-    services = harness.app.service_names()
+    services = build_application(application).service_names()
     target = services[rng.integers("episode-target", 0, len(services))]
     anomaly_types = [a for a in ANOMALY_TYPES if a is not AnomalyType.WORKLOAD_VARIATION]
     anomaly_type = anomaly_types[rng.integers("episode-type", 0, len(anomaly_types))]
@@ -108,7 +108,6 @@ def _training_episode(
             intensity=intensity,
         )
     )
-    harness.attach_injector(campaign)
 
     config = FIRMConfig(
         control_interval_s=2.0,
@@ -116,8 +115,17 @@ def _training_episode(
         per_service_agents=per_service,
         train_online=True,
     )
-    controller = harness.attach_firm(config)
-    controller.shared_agent = agent
+    spec = ScenarioSpec(
+        application=application,
+        seed=rng.integers("episode-seed", 0, 2**31),
+        duration_s=episode_duration_s,
+        load_rps=load_rps,
+        controller="firm",
+        controller_kwargs={"config": config, "shared_agent": agent},
+        campaign=campaign,
+    )
+    harness = ExperimentHarness.from_spec(spec)
+    controller = harness.controller
     agent.begin_episode()
 
     result = harness.run(duration_s=episode_duration_s, load_rps=load_rps)
@@ -241,24 +249,27 @@ def _baseline_mitigation(
     seed: int,
 ) -> float:
     """Measure a baseline's mean SLO mitigation time under a single anomaly."""
-    harness = ExperimentHarness.build(application, seed=seed)
-    harness.attach_workload(load_rps=load_rps)
+    from repro.apps.catalog import build_application
+
     campaign = AnomalyCampaign("baseline-mitigation")
     campaign.add(
         AnomalySpec(
             anomaly_type=AnomalyType.CPU_UTILIZATION,
-            target_service=harness.app.service_names()[0],
+            target_service=build_application(application).service_names()[0],
             start_s=10.0,
             duration_s=duration_s - 10.0,
             intensity=0.9,
         )
     )
-    harness.attach_injector(campaign)
-    if controller == "aimd":
-        harness.attach_aimd()
-    elif controller == "k8s":
-        harness.attach_kubernetes_autoscaler()
-    result = harness.run(duration_s=duration_s, load_rps=load_rps)
+    spec = ScenarioSpec(
+        application=application,
+        seed=seed,
+        duration_s=duration_s,
+        load_rps=load_rps,
+        controller=controller,
+        campaign=campaign,
+    )
+    result = run_scenario(spec)
     times = result.mitigation.mitigation_times_s()
     return float(np.mean(times)) if times else duration_s - 10.0
 

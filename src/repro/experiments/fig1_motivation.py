@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
 from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec
 
 
 @dataclass
@@ -80,8 +81,6 @@ def _run_timeline(
     sample_period_s: float,
 ) -> List[float]:
     """Run one scenario and return the per-interval p99 latency series."""
-    harness = ExperimentHarness.build("social_network", seed=seed)
-    harness.attach_workload(load_rps=load_rps)
     campaign = AnomalyCampaign("fig1")
     # The paper's Fig. 1 stresses memory bandwidth on the server hosting the
     # cache tier; we hit the nodes hosting the read-path caches so that the
@@ -96,9 +95,15 @@ def _run_timeline(
                 intensity=intensity,
             )
         )
-    harness.attach_injector(campaign)
-    if with_firm:
-        harness.attach_firm()
+    spec = ScenarioSpec(
+        application="social_network",
+        seed=seed,
+        duration_s=duration_s,
+        load_rps=load_rps,
+        controller="firm" if with_firm else "none",
+        campaign=campaign,
+    )
+    harness = ExperimentHarness.from_spec(spec)
 
     p99_series: List[float] = []
 

@@ -12,12 +12,13 @@ fastest and slowest groups.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List
 
-from repro.anomaly.campaigns import random_campaign
 from repro.apps.catalog import APPLICATIONS
 from repro.core.critical_path import CriticalPathExtractor
 from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec, random_campaign_builder
 from repro.metrics.latency import LatencyStats, cdf_points
 
 
@@ -60,12 +61,17 @@ def run_fig3_for_application(
     seed: int = 11,
 ) -> CPDistribution:
     """Collect min/max-CP latency distributions for one application."""
-    harness = ExperimentHarness.build(application, seed=seed)
-    harness.attach_workload(load_rps=load_rps)
-    campaign = random_campaign(
-        harness.app.service_names(), harness.rng, duration_s=duration_s, rate_per_s=0.15
+    spec = ScenarioSpec(
+        application=application,
+        seed=seed,
+        duration_s=duration_s,
+        load_rps=load_rps,
+        controller="none",
+        campaign_builder=partial(
+            random_campaign_builder, duration_s=duration_s, rate_per_s=0.15
+        ),
     )
-    harness.attach_injector(campaign)
+    harness = ExperimentHarness.from_spec(spec)
     harness.run(duration_s=duration_s, load_rps=load_rps)
 
     extractor = CriticalPathExtractor()

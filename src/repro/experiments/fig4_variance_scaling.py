@@ -22,6 +22,7 @@ from typing import Dict, List
 from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
 from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec
 from repro.metrics.latency import LatencyStats
 
 
@@ -62,11 +63,6 @@ def _run_configuration(
     seed: int,
 ) -> ExperimentHarness:
     """Run one configuration (optionally pre-scaling one service to 2 replicas)."""
-    harness = ExperimentHarness.build("social_network", seed=seed)
-    if scale_service is not None:
-        profile = harness.cluster.profile_of(scale_service)
-        harness.cluster.deploy_service(profile, replicas=1)
-    harness.attach_workload(load_rps=load_rps, request_mix=[("post-compose", 1.0)])
     campaign = AnomalyCampaign("fig4")
     campaign.add(
         AnomalySpec(
@@ -77,7 +73,19 @@ def _run_configuration(
             intensity=intensity,
         )
     )
-    harness.attach_injector(campaign)
+    spec = ScenarioSpec(
+        application="social_network",
+        seed=seed,
+        duration_s=duration_s,
+        load_rps=load_rps,
+        request_mix=[("post-compose", 1.0)],
+        controller="none",
+        campaign=campaign,
+    )
+    harness = ExperimentHarness.from_spec(spec)
+    if scale_service is not None:
+        profile = harness.cluster.profile_of(scale_service)
+        harness.cluster.deploy_service(profile, replicas=1)
     harness.run(duration_s=duration_s, load_rps=load_rps)
     return harness
 

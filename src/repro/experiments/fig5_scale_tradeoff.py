@@ -21,6 +21,7 @@ from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
 from repro.cluster.resources import Resource, ResourceVector
 from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec
 from repro.metrics.latency import LatencyStats
 
 #: Which service is stressed per application and bound type.
@@ -83,8 +84,6 @@ def _run_point(
 ) -> Fig5Point:
     """Run one configuration of the sweep."""
     target = TARGETS[application][bound]
-    harness = ExperimentHarness.build(application, seed=seed)
-    harness.attach_workload(load_rps=load_rps)
     anomaly_type = (
         AnomalyType.CPU_UTILIZATION if bound == "cpu" else AnomalyType.MEMORY_BANDWIDTH
     )
@@ -98,7 +97,16 @@ def _run_point(
             intensity=intensity,
         )
     )
-    harness.attach_injector(campaign)
+    harness = ExperimentHarness.from_spec(
+        ScenarioSpec(
+            application=application,
+            seed=seed,
+            duration_s=duration_s,
+            load_rps=load_rps,
+            controller="none",
+            campaign=campaign,
+        )
+    )
 
     # Apply the mitigation up front (the figure studies steady-state payoff).
     replicas = harness.cluster.replicas_of(target)

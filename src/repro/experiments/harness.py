@@ -2,10 +2,18 @@
 
 The harness wires together one benchmark application, the simulated
 cluster, tracing, telemetry, workload generation, anomaly injection, and a
-resource-management controller (FIRM, Kubernetes autoscaling, AIMD, or
-none), and runs the scenario for a configured duration while collecting
-SLO statistics and mitigation times.  Every per-figure experiment module is
-a thin layer over this harness.
+resource-management controller (looked up by name in the controller
+registry), and runs the scenario for a configured duration while
+collecting SLO statistics and mitigation times.  Scenarios are described
+declaratively by :class:`~repro.experiments.scenario.ScenarioSpec` and
+built with :meth:`ExperimentHarness.from_spec`; every per-figure
+experiment module is a thin layer over this harness.
+
+SLO accounting is streaming: the harness observes each trace through a
+tracing-coordinator completion hook the moment the request finishes, so
+heavy-traffic runs do not need to retain every trace until the end and
+traces evicted from the bounded :class:`~repro.tracing.store.TraceStore`
+are still counted.
 """
 
 from __future__ import annotations
@@ -18,18 +26,18 @@ from repro.anomaly.injector import PerformanceAnomalyInjector
 from repro.apps.catalog import build_application
 from repro.apps.graph import ServiceGraph
 from repro.apps.runtime import ApplicationRuntime
-from repro.baselines.aimd import AIMDController
-from repro.baselines.kubernetes_hpa import KubernetesAutoscaler
+from repro.baselines.base import ResourceController, create_controller
 from repro.cluster.cluster import Cluster
 from repro.cluster.orchestrator import Orchestrator
-from repro.cluster.resources import Resource
 from repro.cluster.telemetry import TelemetryCollector
 from repro.core.firm import FIRMConfig, FIRMController
+from repro.experiments.scenario import ScenarioSpec, run_scenario
 from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import MitigationTracker, SLOTracker
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRNG
 from repro.tracing.coordinator import TracingCoordinator
+from repro.tracing.trace import Trace
 from repro.workload.generators import WorkloadGenerator
 from repro.workload.patterns import ArrivalPattern, ConstantPattern
 
@@ -66,12 +74,17 @@ class ExperimentResult:
         )
 
     def summary(self) -> Dict[str, float]:
-        """Headline numbers for reports."""
+        """Headline numbers for reports.
+
+        ``dropped`` comes from the streaming SLO tracker so it covers the
+        same accounting window as ``completed``/``violations``
+        (``dropped_requests`` stays the runtime's cumulative counter).
+        """
         return {
             "completed": float(self.slo.completed),
             "violations": float(self.slo.violations),
             "violation_rate": self.slo.violation_rate,
-            "dropped": float(self.dropped_requests),
+            "dropped": float(self.slo.dropped),
             "p50_ms": self.latency.median,
             "p99_ms": self.latency.p99,
             "mean_requested_cpu": self.mean_requested_cpu,
@@ -98,9 +111,11 @@ class ExperimentHarness:
         self.orchestrator = Orchestrator(self.cluster, engine, rng)
         self.workload: Optional[WorkloadGenerator] = None
         self.injector: Optional[PerformanceAnomalyInjector] = None
-        self.controller = None
+        self.campaign: Optional[AnomalyCampaign] = None
+        self.controller: Optional[ResourceController] = None
         self.controller_name = "none"
         self.firm: Optional[FIRMController] = None
+        self.spec: Optional[ScenarioSpec] = None
 
     # ----------------------------------------------------------------- build
     @classmethod
@@ -114,35 +129,60 @@ class ExperimentHarness:
         harness.telemetry.start()
         return harness
 
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "ExperimentHarness":
+        """Build the fully wired harness described by ``spec``.
+
+        Wires, in order: application + cluster, workload (explicit pattern
+        or constant ``load_rps``), anomaly campaign (pre-built or realized
+        through ``spec.campaign_builder``), and the controller looked up in
+        the registry.  The realized campaign is kept on ``harness.campaign``
+        for experiments that need its schedule (e.g. its end time).
+        """
+        harness = cls.build(application=spec.application, seed=spec.seed)
+        harness.spec = spec
+        if spec.pattern is not None:
+            harness.attach_workload(pattern=spec.pattern, request_mix=spec.request_mix)
+        else:
+            harness.attach_workload(load_rps=spec.load_rps, request_mix=spec.request_mix)
+        campaign = spec.campaign
+        if campaign is None and spec.campaign_builder is not None:
+            campaign = spec.campaign_builder(harness)
+        if campaign is not None:
+            harness.attach_injector(campaign)
+        harness.attach_controller(spec.controller, **spec.controller_kwargs)
+        return harness
+
     # ------------------------------------------------------------ controllers
-    def attach_firm(self, config: Optional[FIRMConfig] = None) -> FIRMController:
+    def attach_controller(self, name: str, **kwargs) -> Optional[ResourceController]:
+        """Attach the controller registered under ``name`` (or an alias).
+
+        Raises ``ValueError`` for names missing from the registry.  The
+        ``"none"`` policy detaches any current controller.  A previously
+        attached (possibly started) controller is stopped first so its
+        control loop cannot keep acting alongside the replacement.
+        """
+        controller = create_controller(
+            name, self.cluster, self.coordinator, self.orchestrator, self.engine, **kwargs
+        )
+        if self.controller is not None:
+            self.controller.stop()
+        self.controller = controller
+        self.controller_name = name
+        self.firm = controller if isinstance(controller, FIRMController) else None
+        return controller
+
+    def attach_firm(self, config: Optional[FIRMConfig] = None, **kwargs) -> FIRMController:
         """Manage the cluster with FIRM."""
-        self.firm = FIRMController(
-            self.cluster,
-            self.coordinator,
-            self.orchestrator,
-            self.engine,
-            config=config,
-        )
-        self.controller = self.firm
-        self.controller_name = "firm"
-        return self.firm
+        return self.attach_controller("firm", config=config, **kwargs)
 
-    def attach_kubernetes_autoscaler(self, **kwargs) -> KubernetesAutoscaler:
+    def attach_kubernetes_autoscaler(self, **kwargs):
         """Manage the cluster with the Kubernetes HPA baseline."""
-        self.controller = KubernetesAutoscaler(
-            self.cluster, self.coordinator, self.orchestrator, self.engine, **kwargs
-        )
-        self.controller_name = "k8s"
-        return self.controller
+        return self.attach_controller("k8s", **kwargs)
 
-    def attach_aimd(self, **kwargs) -> AIMDController:
+    def attach_aimd(self, **kwargs):
         """Manage the cluster with the AIMD baseline."""
-        self.controller = AIMDController(
-            self.cluster, self.coordinator, self.orchestrator, self.engine, **kwargs
-        )
-        self.controller_name = "aimd"
-        return self.controller
+        return self.attach_controller("aimd", **kwargs)
 
     # --------------------------------------------------------------- workload
     def attach_workload(
@@ -166,6 +206,7 @@ class ExperimentHarness:
         self.injector = PerformanceAnomalyInjector(
             self.cluster, self.engine, workload=self.workload
         )
+        self.campaign = campaign
         if campaign is not None:
             self.injector.schedule_all(campaign.specs)
         return self.injector
@@ -193,7 +234,26 @@ class ExperimentHarness:
         requested_cpu: List[float] = []
         cpu_utilization: List[float] = []
         start_time = self.engine.now
+        end_time = start_time + duration_s
         accounting_start = start_time + warmup_s
+
+        # Streaming SLO accounting: observe every trace the moment it
+        # finishes.  A trace can fire twice in either order (a downstream
+        # drop before the entry span completes, or a background call's
+        # rejection after it) — "dropped" is the final word either way,
+        # matching the old end-of-run scan of the trace store.
+        outcomes: Dict[str, str] = {}
+
+        def _observe_finished(trace: Trace) -> None:
+            if (trace.arrival_time or 0.0) < accounting_start:
+                return
+            prior = outcomes.get(trace.request_id)
+            if prior is None:
+                outcomes[trace.request_id] = "dropped" if trace.dropped else "completed"
+                slo_tracker.observe(trace)
+            elif prior == "completed" and trace.dropped:
+                outcomes[trace.request_id] = "dropped"
+                slo_tracker.reclassify_as_dropped(trace)
 
         def _sample(engine: SimulationEngine) -> None:
             requested_cpu.append(self.cluster.total_requested_cpu())
@@ -201,18 +261,21 @@ class ExperimentHarness:
             violating = self.coordinator.has_slo_violation(5.0)
             mitigation.update(engine.now, violating)
 
-        self.engine.schedule_recurring(sample_period_s, _sample, name="harness-sample")
-
-        if self.controller is not None:
-            self.controller.start()
-        self.workload.start(duration_s=duration_s)
-        self.engine.run_until(start_time + duration_s)
-        mitigation.close(self.engine.now)
-
-        for trace in self.coordinator.store.all_traces():
-            if (trace.arrival_time or 0.0) < accounting_start:
-                continue
-            slo_tracker.observe(trace)
+        # Bound the sampling recurrence to this run (and cancel it on exit)
+        # so back-to-back run() calls on one harness never double-sample.
+        sample_event = self.engine.schedule_recurring(
+            sample_period_s, _sample, name="harness-sample", until=end_time
+        )
+        self.coordinator.add_completion_hook(_observe_finished)
+        try:
+            if self.controller is not None:
+                self.controller.start()
+            self.workload.start(duration_s=duration_s)
+            self.engine.run_until(end_time)
+            mitigation.close(self.engine.now)
+        finally:
+            self.coordinator.remove_completion_hook(_observe_finished)
+            sample_event.cancel()
 
         latency = LatencyStats.from_samples(slo_tracker.latencies_ms)
         return ExperimentResult(
@@ -236,7 +299,7 @@ def run_comparison(
     seed: int = 0,
     controllers: Sequence[str] = ("firm", "aimd", "k8s"),
 ) -> Dict[str, ExperimentResult]:
-    """Run the same scenario under each controller (plus anomaly campaign).
+    """Run the same scenario under each registered controller.
 
     ``campaign_builder(harness)`` must return an
     :class:`~repro.anomaly.campaigns.AnomalyCampaign` (or None) for the
@@ -244,17 +307,13 @@ def run_comparison(
     """
     results: Dict[str, ExperimentResult] = {}
     for controller in controllers:
-        harness = ExperimentHarness.build(application=application, seed=seed)
-        harness.attach_workload(load_rps=load_rps)
-        campaign = campaign_builder(harness) if campaign_builder is not None else None
-        harness.attach_injector(campaign)
-        if controller == "firm":
-            harness.attach_firm()
-        elif controller == "aimd":
-            harness.attach_aimd()
-        elif controller == "k8s":
-            harness.attach_kubernetes_autoscaler()
-        elif controller != "none":
-            raise ValueError(f"unknown controller {controller!r}")
-        results[controller] = harness.run(duration_s=duration_s, load_rps=load_rps)
+        spec = ScenarioSpec(
+            application=application,
+            seed=seed,
+            duration_s=duration_s,
+            load_rps=load_rps,
+            controller=controller,
+            campaign_builder=campaign_builder,
+        )
+        results[controller] = run_scenario(spec)
     return results

@@ -1,0 +1,136 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` captures everything that defines one experiment
+scenario — application, seed, duration, workload shape, request mix,
+controller (by registry name) and its options, and the anomaly campaign —
+as plain data.  Specs are the currency of the experiment stack: every
+figure/table module builds its harnesses from specs via
+:meth:`repro.experiments.harness.ExperimentHarness.from_spec`, and the
+sweep runner (:mod:`repro.experiments.sweep`) fans grids of specs out over
+worker processes.
+
+Specs must stay picklable so they can cross process boundaries: prefer
+module-level functions (or :func:`functools.partial` over them) for
+``campaign_builder``, never lambdas or closures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.anomaly.anomalies import ANOMALY_TYPES, AnomalyType
+from repro.anomaly.campaigns import AnomalyCampaign, random_campaign
+from repro.workload.patterns import ArrivalPattern
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.harness import ExperimentHarness, ExperimentResult
+
+
+@dataclass
+class ScenarioSpec:
+    """One fully specified experiment scenario.
+
+    Attributes
+    ----------
+    application:
+        Benchmark application name (see :mod:`repro.apps.catalog`).
+    seed:
+        Master seed; fully determines the run (workload arrivals, service
+        times, campaigns, RL exploration all derive substreams from it).
+    duration_s:
+        Scenario duration in simulated seconds.
+    load_rps:
+        Offered load for the default constant arrival pattern; ignored when
+        ``pattern`` is given.
+    pattern:
+        Optional explicit arrival pattern (diurnal, spike, ...).
+    request_mix:
+        Optional ``(request_type, weight)`` pairs overriding the
+        application's declared mix.
+    controller:
+        Registry name of the resource controller (``"firm"``, ``"aimd"``,
+        ``"kubernetes_hpa"``/``"k8s"``, ``"firm_multi"``, ``"none"``, ...).
+    controller_kwargs:
+        Keyword arguments forwarded to the controller factory.
+    campaign:
+        Optional pre-built anomaly campaign.
+    campaign_builder:
+        Optional callable ``builder(harness) -> AnomalyCampaign | None``
+        invoked against the freshly built harness (use for campaigns that
+        need the harness RNG or service names); ignored when ``campaign``
+        is given.  Must be picklable for parallel sweeps.
+    warmup_s:
+        Seconds at the start excluded from SLO accounting.
+    sample_period_s:
+        Period of the harness's utilization/mitigation sampling.
+    """
+
+    application: str = "social_network"
+    seed: int = 0
+    duration_s: float = 60.0
+    load_rps: float = 50.0
+    pattern: Optional[ArrivalPattern] = None
+    request_mix: Optional[Sequence[Tuple[str, float]]] = None
+    controller: str = "none"
+    controller_kwargs: Dict[str, Any] = field(default_factory=dict)
+    campaign: Optional[AnomalyCampaign] = None
+    campaign_builder: Optional[Callable[["ExperimentHarness"], Optional[AnomalyCampaign]]] = None
+    warmup_s: float = 0.0
+    sample_period_s: float = 1.0
+
+    @property
+    def scenario_id(self) -> str:
+        """Stable human-readable identity (used to key sweep results)."""
+        return (
+            f"{self.application}/{self.controller}"
+            f"/seed={self.seed}/load={self.load_rps:g}/duration={self.duration_s:g}"
+        )
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def build(self) -> "ExperimentHarness":
+        """Build the fully wired harness for this spec."""
+        from repro.experiments.harness import ExperimentHarness
+
+        return ExperimentHarness.from_spec(self)
+
+
+def run_scenario(spec: ScenarioSpec) -> "ExperimentResult":
+    """Build and run one scenario end to end, returning its result."""
+    harness = spec.build()
+    return harness.run(
+        duration_s=spec.duration_s,
+        sample_period_s=spec.sample_period_s,
+        warmup_s=spec.warmup_s,
+    )
+
+
+def random_campaign_builder(
+    harness: "ExperimentHarness",
+    duration_s: float,
+    rate_per_s: float = 0.33,
+    min_intensity: float = 0.3,
+    resource_only: bool = False,
+):
+    """The canonical picklable ``campaign_builder`` for random injection.
+
+    Use with :func:`functools.partial` to bind parameters into a spec;
+    ``resource_only`` excludes workload-variation anomalies (the §4.1
+    baseline-comparison setting).
+    """
+    anomaly_types = (
+        [a for a in ANOMALY_TYPES if a is not AnomalyType.WORKLOAD_VARIATION]
+        if resource_only
+        else ANOMALY_TYPES
+    )
+    return random_campaign(
+        harness.app.service_names(),
+        harness.rng,
+        duration_s=duration_s,
+        rate_per_s=rate_per_s,
+        min_intensity=min_intensity,
+        anomaly_types=anomaly_types,
+    )

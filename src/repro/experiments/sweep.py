@@ -1,0 +1,137 @@
+"""Parallel scenario sweeps.
+
+Low-latency cloud-service studies get their results from large
+seed x load x policy grids (cf. the Distributed Join-the-Idle-Queue
+evaluation in PAPERS.md).  This module makes that experiment shape cheap:
+
+* :func:`sweep_grid` expands the cross product of applications,
+  controllers, seeds, and loads into a list of
+  :class:`~repro.experiments.scenario.ScenarioSpec`;
+* :func:`run_sweep` runs any list of specs either serially or fanned out
+  over ``multiprocessing`` workers, returning one
+  :class:`SweepOutcome` per spec **in the input order** regardless of
+  which worker finished first.
+
+Each spec carries its own master seed, and every stochastic subsystem
+derives named substreams from it, so a scenario's result is a pure
+function of its spec: the parallel sweep is bit-identical to the serial
+one.  Workers are started with the ``spawn`` method so no parent-process
+state (RNG, request-id counters) leaks into the runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.scenario import (
+    ScenarioSpec,
+    random_campaign_builder,
+    run_scenario,
+)
+
+
+@dataclass
+class SweepOutcome:
+    """Result of one scenario of a sweep: its spec plus headline numbers."""
+
+    spec: ScenarioSpec
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def scenario_id(self) -> str:
+        return self.spec.scenario_id
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat JSON-friendly row (used by the CLI and reports)."""
+        return {
+            "application": self.spec.application,
+            "controller": self.spec.controller,
+            "seed": self.spec.seed,
+            "load_rps": self.spec.load_rps,
+            "duration_s": self.spec.duration_s,
+            **self.summary,
+        }
+
+
+def sweep_grid(
+    applications: Sequence[str] = ("social_network",),
+    controllers: Sequence[str] = ("firm", "aimd", "k8s"),
+    seeds: Sequence[int] = (0,),
+    loads_rps: Sequence[float] = (50.0,),
+    duration_s: float = 60.0,
+    anomaly_rate_per_s: float = 0.0,
+    min_intensity: float = 0.5,
+    base: Optional[ScenarioSpec] = None,
+) -> List[ScenarioSpec]:
+    """Expand a grid of scenarios into specs (application-major order).
+
+    ``anomaly_rate_per_s > 0`` adds a seed-derived random anomaly campaign
+    to every scenario.  ``base`` supplies defaults for every field the grid
+    does not set (warmup, sample period, request mix, ...).
+    """
+    template = base if base is not None else ScenarioSpec()
+    campaign_builder: Optional[Callable] = None
+    if anomaly_rate_per_s > 0:
+        campaign_builder = partial(
+            random_campaign_builder,
+            duration_s=duration_s,
+            rate_per_s=anomaly_rate_per_s,
+            min_intensity=min_intensity,
+        )
+    specs: List[ScenarioSpec] = []
+    for application in applications:
+        for load in loads_rps:
+            for controller in controllers:
+                for seed in seeds:
+                    specs.append(
+                        template.with_overrides(
+                            application=application,
+                            seed=int(seed),
+                            duration_s=duration_s,
+                            load_rps=float(load),
+                            controller=controller,
+                            campaign_builder=campaign_builder,
+                            campaign=None,
+                        )
+                    )
+    return specs
+
+
+def _run_one(spec: ScenarioSpec) -> SweepOutcome:
+    """Worker entry point: run one spec and return its headline summary."""
+    result = run_scenario(spec)
+    return SweepOutcome(spec=spec, summary=result.summary())
+
+
+def run_sweep(
+    specs: Iterable[ScenarioSpec],
+    workers: int = 1,
+    progress: Optional[Callable[[int, int, SweepOutcome], None]] = None,
+) -> List[SweepOutcome]:
+    """Run every spec, optionally across ``workers`` processes.
+
+    Returns one :class:`SweepOutcome` per spec, in the order the specs were
+    given.  ``progress(done_count, total, outcome)`` is invoked in the
+    parent process as each scenario finishes (in input order).
+    """
+    spec_list = list(specs)
+    total = len(spec_list)
+    outcomes: List[SweepOutcome] = []
+    if workers <= 1 or total <= 1:
+        for index, spec in enumerate(spec_list):
+            outcome = _run_one(spec)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(index + 1, total, outcome)
+        return outcomes
+
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(workers, total)) as pool:
+        for index, outcome in enumerate(pool.imap(_run_one, spec_list, chunksize=1)):
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(index + 1, total, outcome)
+    return outcomes

@@ -22,6 +22,7 @@ from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
 from repro.core.critical_path import CriticalPathExtractor
 from repro.experiments.harness import ExperimentHarness
+from repro.experiments.scenario import ScenarioSpec
 
 #: The paper's Table 1 service columns (short label -> service name).
 TABLE1_SERVICES: Dict[str, str] = {
@@ -63,10 +64,6 @@ def run_table1_case(
     if target_label not in TABLE1_SERVICES:
         raise KeyError(f"unknown Table 1 service label {target_label!r}")
     target_service = TABLE1_SERVICES[target_label]
-    harness = ExperimentHarness.build("social_network", seed=seed)
-    harness.attach_workload(
-        load_rps=load_rps, request_mix=[("post-compose", 1.0)]
-    )
     campaign = AnomalyCampaign(f"table1:{target_label}")
     anomaly_type = (
         AnomalyType.CPU_UTILIZATION
@@ -82,7 +79,17 @@ def run_table1_case(
             intensity=intensity,
         )
     )
-    harness.attach_injector(campaign)
+    harness = ExperimentHarness.from_spec(
+        ScenarioSpec(
+            application="social_network",
+            seed=seed,
+            duration_s=duration_s,
+            load_rps=load_rps,
+            request_mix=[("post-compose", 1.0)],
+            controller="none",
+            campaign=campaign,
+        )
+    )
     harness.run(duration_s=duration_s, load_rps=load_rps)
 
     extractor = CriticalPathExtractor()

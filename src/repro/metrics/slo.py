@@ -47,6 +47,25 @@ class SLOTracker:
         if slo is not None and latency > slo:
             self.violations += 1
 
+    def reclassify_as_dropped(self, trace: Trace) -> None:
+        """Convert a trace observed as completed into a dropped one.
+
+        Streaming observers can see a request complete and only later see
+        it dropped (a background call's rejection arrives after the entry
+        span finished); dropped is the final word, so the completion's
+        contribution is retracted.  ``is_complete`` is already False for a
+        dropped trace, so the recorded completion time is checked instead.
+        """
+        if trace.completion_time is not None:
+            self.completed -= 1
+            latency = trace.end_to_end_latency_ms
+            if latency in self.latencies_ms:
+                self.latencies_ms.remove(latency)
+            slo = self.slo_latency_ms.get(trace.request_type)
+            if slo is not None and latency > slo:
+                self.violations -= 1
+        self.dropped += 1
+
     @property
     def violation_rate(self) -> float:
         """Fraction of completed requests that violated their SLO."""

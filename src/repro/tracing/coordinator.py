@@ -10,7 +10,7 @@ latency distributions, SLO-violation status, and workload statistics.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +47,11 @@ class TracingCoordinator:
         self.slo_latency_ms: Dict[str, float] = {}
         #: Completion timestamps per request type, for arrival-rate estimation.
         self._arrivals: Deque[Tuple[float, str]] = deque(maxlen=100_000)
+        #: Hooks invoked with each trace as it finishes (completes or drops).
+        #: Streaming observers (e.g. the harness's SLO accounting) use these
+        #: instead of scanning the bounded store after the fact, so traces
+        #: evicted from the store are still accounted.
+        self._completion_hooks: List[Callable[[Trace], None]] = []
 
     # --------------------------------------------------------------- ingest
     def register_slo(self, request_type: str, slo_latency_ms: float) -> None:
@@ -68,10 +73,32 @@ class TracingCoordinator:
     def complete_trace(self, trace: Trace, completion_time: float) -> None:
         """Mark the request's response as sent to the client."""
         trace.mark_complete(completion_time)
+        self._fire_completion(trace)
 
     def drop_trace(self, trace: Trace) -> None:
         """Mark the request as dropped."""
         trace.mark_dropped()
+        self._fire_completion(trace)
+
+    # ------------------------------------------------------ completion hooks
+    def add_completion_hook(self, hook: Callable[[Trace], None]) -> None:
+        """Register ``hook`` to be called with every finishing trace.
+
+        The hook fires on both completion and drop; a trace that is dropped
+        mid-flight and later completes fires once per event, so observers
+        that must count each request exactly once should de-duplicate by
+        ``trace.request_id``.
+        """
+        self._completion_hooks.append(hook)
+
+    def remove_completion_hook(self, hook: Callable[[Trace], None]) -> None:
+        """Unregister a previously added completion hook (no-op if absent)."""
+        if hook in self._completion_hooks:
+            self._completion_hooks.remove(hook)
+
+    def _fire_completion(self, trace: Trace) -> None:
+        for hook in list(self._completion_hooks):
+            hook(trace)
 
     # ----------------------------------------------------------------- stats
     def recent_traces(
