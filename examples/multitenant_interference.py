@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Multi-tenant co-location: measure interference, then defend the victim.
+
+Co-locates a latency-sensitive hotel-reservation tenant ("victim") with a
+heavily loaded social-network tenant ("aggressor") on one small shared
+cluster, quantifies how much the neighbour's pressure costs the victim
+(vs. running alone), and then re-runs the co-located scenario with a
+resource controller managing only the victim's services: its enforced
+partitions isolate the victim from the node's best-effort pool, which is
+exactly how partition-based mitigation recovers the SLO.
+
+Usage::
+
+    python examples/multitenant_interference.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.interference import aggressor_victim, run_interference
+from repro.experiments.scenario import run_scenario
+
+
+def main() -> None:
+    spec = aggressor_victim(
+        victim_load_rps=15.0,
+        aggressor_load_rps=60.0,
+        aggressor_anomaly_rate_per_s=0.3,
+        duration_s=40.0,
+        seed=3,
+    )
+
+    print("=== co-located vs. isolated (no controller) ===")
+    result = run_interference(spec=spec)
+    for name, tenant in result.tenants.items():
+        print(
+            f"{name:>10}: p99 {tenant.isolated['p99_ms']:7.1f} ms alone -> "
+            f"{tenant.colocated['p99_ms']:7.1f} ms co-located "
+            f"({tenant.p99_factor:.2f}x)"
+        )
+
+    print("\n=== same scenario, a controller defending the victim ===")
+    defended_spec = spec.with_overrides(
+        tenants=[
+            spec.tenants[0].with_overrides(controller="aimd"),
+            spec.tenants[1],
+        ]
+    )
+    defended = run_scenario(defended_spec)
+    for name, summary in defended.per_tenant_summary().items():
+        print(
+            f"{name:>10}: p99 {summary['p99_ms']:7.1f} ms "
+            f"violations {summary['violations']:4.0f} "
+            f"(controller: {defended.tenant_results[name].controller})"
+        )
+
+
+if __name__ == "__main__":
+    main()

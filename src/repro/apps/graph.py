@@ -12,7 +12,7 @@ critical-path extractor must handle.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -175,6 +175,49 @@ class ServiceGraph:
         for edge in calls:
             graph.add_edge(caller, edge.callee, pattern=edge.pattern.value)
             self._add_edges(graph, edge.callee, edge.children)
+
+    # ------------------------------------------------------------ namespacing
+    def namespaced(self, prefix: str) -> "ServiceGraph":
+        """A copy of this graph with every service name prefixed ``prefix/``.
+
+        Used by multi-tenant deployments: two tenants running the same
+        application must not collide in the shared cluster's replica sets,
+        so each tenant deploys ``tenant/nginx``, ``tenant/composePost``, ...
+        Request-type *names* are left untouched (SLO accounting is per
+        tenant already), but their entry services and call plans are
+        rewritten to the prefixed service names.  The application name
+        becomes ``prefix/name`` so seeded RNG substreams (workload arrivals,
+        service times) decouple between tenants automatically.
+        """
+        def _rename(service: str) -> str:
+            return f"{prefix}/{service}"
+
+        def _rewrite(edge: CallEdge) -> CallEdge:
+            return CallEdge(
+                callee=_rename(edge.callee),
+                pattern=edge.pattern,
+                children=[_rewrite(child) for child in edge.children],
+            )
+
+        clone = ServiceGraph(f"{prefix}/{self.name}")
+        for node in self._services.values():
+            profile = replace(
+                node.profile,
+                name=_rename(node.profile.name),
+                resource_weights=dict(node.profile.resource_weights),
+            )
+            clone.add_service(profile, replicas=node.initial_replicas)
+        for request_type in self._request_types.values():
+            clone.add_request_type(
+                RequestType(
+                    name=request_type.name,
+                    entry_service=_rename(request_type.entry_service),
+                    call_plan=[_rewrite(edge) for edge in request_type.call_plan],
+                    slo_latency_ms=request_type.slo_latency_ms,
+                    weight=request_type.weight,
+                )
+            )
+        return clone
 
     def validate(self) -> None:
         """Sanity checks: at least one request type, acyclic dependencies."""

@@ -41,7 +41,9 @@ class ApplicationRuntime:
     app:
         The application's service graph.
     cluster:
-        The simulated cluster to deploy onto.
+        The simulated cluster to deploy onto — either the shared
+        :class:`~repro.cluster.cluster.Cluster` or a tenant-scoped
+        :class:`~repro.cluster.cluster.TenantClusterView`.
     coordinator:
         Tracing coordinator receiving spans and completions.
     engine:
@@ -49,6 +51,9 @@ class ApplicationRuntime:
     default_limits:
         Optional resource limits applied to every deployed container
         (defaults to the overprovisioned container defaults).
+    tenant:
+        Optional tenant identity; spans produced by this runtime are tagged
+        with it so per-tenant analysis can filter a shared trace stream.
     """
 
     def __init__(
@@ -58,12 +63,14 @@ class ApplicationRuntime:
         coordinator: TracingCoordinator,
         engine: SimulationEngine,
         default_limits: Optional[ResourceLimits] = None,
+        tenant: Optional[str] = None,
     ) -> None:
         self.app = app
         self.cluster = cluster
         self.coordinator = coordinator
         self.engine = engine
         self.default_limits = default_limits
+        self.tenant = tenant
         self.completed_requests = 0
         self.dropped_requests = 0
         self._deployed = False
@@ -133,6 +140,7 @@ class ApplicationRuntime:
                 parent_id=None,
                 enqueue_time=eq,
                 start_time=st,
+                tenant=self.tenant,
             )
 
             def _children_done() -> None:
@@ -237,6 +245,7 @@ class ApplicationRuntime:
                 parent_id=parent_span.span_id,
                 enqueue_time=eq,
                 start_time=st,
+                tenant=self.tenant,
             )
 
             def _children_done() -> None:
@@ -262,6 +271,7 @@ class ApplicationRuntime:
                 start_time=self.engine.now,
                 end_time=self.engine.now,
                 dropped=True,
+                tenant=self.tenant,
             )
             self.coordinator.record_span(trace, span)
             if not trace.dropped:

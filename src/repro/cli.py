@@ -5,9 +5,12 @@ Usage::
     python -m repro.cli list
     python -m repro.cli run fig1 --out results/fig1.json
     python -m repro.cli run table6
+    python -m repro.cli run interference --preset aggressor_victim
     python -m repro.cli compare --application social_network --duration 120
     python -m repro.cli sweep --application social_network \
         --seeds 0,1,2 --controllers firm,aimd --workers 2
+    python -m repro.cli sweep --tenants 1,2,4 --application hotel_reservation \
+        --controllers aimd --duration 30
 
 The CLI is a thin wrapper over :mod:`repro.experiments`; every experiment
 is also importable and runnable programmatically (see the examples/
@@ -108,6 +111,29 @@ def _run_summary(args: argparse.Namespace):
     return run_summary(quick=True)
 
 
+def _run_interference(args: argparse.Namespace):
+    """Run an interference preset; omitted flags keep the preset defaults."""
+    from repro.experiments.interference import PRESETS, run_interference
+
+    preset = getattr(args, "preset", None) or "aggressor_victim"
+    kwargs: Dict[str, Any] = {"seed": getattr(args, "seed", 0)}
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    if preset == "identical_tenants":
+        tenants = getattr(args, "tenants", None)
+        kwargs["count"] = tenants if tenants is not None else 2
+        if args.load is not None:
+            kwargs["load_rps"] = args.load
+        if args.application is not None:
+            kwargs["application"] = args.application
+    elif preset in PRESETS:
+        if args.load is not None:
+            kwargs["victim_load_rps"] = args.load
+        if args.application is not None:
+            kwargs["victim_application"] = args.application
+    return run_interference(preset=preset, **kwargs).as_dict()
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig1": _run_fig1,
     "fig3": _run_fig3,
@@ -116,6 +142,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig9": _run_fig9,
     "fig10": _run_fig10,
     "fig11": _run_fig11,
+    "interference": _run_interference,
     "table1": _run_table1,
     "table6": _run_table6,
     "summary": _run_summary,
@@ -131,9 +158,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one experiment")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
-    run_parser.add_argument("--duration", type=float, default=90.0, help="scenario duration (simulated s)")
-    run_parser.add_argument("--load", type=float, default=50.0, help="offered load (req/s)")
-    run_parser.add_argument("--application", default="social_network", help="benchmark application")
+    # Defaults are applied in main() (90 s / 50 rps / social_network) so
+    # the interference experiment can tell "flag omitted" apart from an
+    # explicit value and fall back to its presets' own defaults.
+    run_parser.add_argument("--duration", type=float, default=None, help="scenario duration (simulated s, default 90)")
+    run_parser.add_argument("--load", type=float, default=None, help="offered load (req/s, default 50)")
+    run_parser.add_argument("--application", default=None, help="benchmark application (default social_network)")
+    run_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="experiment seed (interference; classic experiments keep their published seeds)",
+    )
+    run_parser.add_argument(
+        "--preset", default=None,
+        help="interference preset (aggressor_victim, noisy_neighbor_ramp, identical_tenants)",
+    )
+    run_parser.add_argument(
+        "--tenants", type=int, default=None,
+        help="tenant count for the identical_tenants interference preset",
+    )
     run_parser.add_argument("--out", default=None, help="write the JSON result to this path")
 
     compare_parser = subparsers.add_parser(
@@ -170,6 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--anomaly-rate", type=float, default=0.0,
         help="random anomaly arrivals per second (0 disables injection)",
     )
+    sweep_parser.add_argument(
+        "--tenants", default=None,
+        help="comma-separated tenant counts; switches to a multi-tenant "
+        "consolidation sweep (N identical co-located tenants per scenario "
+        "on a small 1-node cluster, vs. the 15-node single-tenant default)",
+    )
+    sweep_parser.add_argument(
+        "--placement", default=None,
+        help="scheduler placement policy "
+        "(spread, binpack, random, anti_affinity, tenant_anti_affinity)",
+    )
     sweep_parser.add_argument("--out", default=None, help="write the JSON result to this path")
     return parser
 
@@ -181,20 +234,44 @@ def _csv_list(text: str, convert=str) -> list:
 
 def _run_sweep(args: argparse.Namespace):
     from repro.baselines.base import resolve_controller_name
-    from repro.experiments.sweep import run_sweep, sweep_grid
+    from repro.cluster.scheduler import PlacementPolicy
+    from repro.experiments.scenario import ScenarioSpec
+    from repro.experiments.sweep import run_sweep, sweep_grid, tenant_sweep_grid
 
     # Fail fast on typos before any scenario of the grid runs.
     for controller in _csv_list(args.controllers):
         resolve_controller_name(controller)
+    if args.placement is not None:
+        PlacementPolicy(args.placement)
 
-    specs = sweep_grid(
-        applications=_csv_list(args.application),
-        controllers=_csv_list(args.controllers),
-        seeds=_csv_list(args.seeds, int),
-        loads_rps=_csv_list(args.loads, float),
-        duration_s=args.duration,
-        anomaly_rate_per_s=args.anomaly_rate,
-    )
+    if getattr(args, "tenants", None):
+        # Multi-tenant consolidation sweep: N identical co-located tenants.
+        specs = []
+        for application in _csv_list(args.application):
+            for controller in _csv_list(args.controllers):
+                for load in _csv_list(args.loads, float):
+                    specs.extend(
+                        tenant_sweep_grid(
+                            tenant_counts=_csv_list(args.tenants, int),
+                            application=application,
+                            controller=controller,
+                            seeds=_csv_list(args.seeds, int),
+                            load_rps=load,
+                            duration_s=args.duration,
+                            placement=args.placement,
+                            anomaly_rate_per_s=args.anomaly_rate,
+                        )
+                    )
+    else:
+        specs = sweep_grid(
+            applications=_csv_list(args.application),
+            controllers=_csv_list(args.controllers),
+            seeds=_csv_list(args.seeds, int),
+            loads_rps=_csv_list(args.loads, float),
+            duration_s=args.duration,
+            anomaly_rate_per_s=args.anomaly_rate,
+            base=ScenarioSpec(placement=args.placement) if args.placement else None,
+        )
 
     def _progress(done: int, total: int, outcome) -> None:
         print(f"[{done}/{total}] {outcome.scenario_id}", file=sys.stderr)
@@ -226,6 +303,15 @@ def main(argv=None) -> int:
     elif args.command == "sweep":
         payload = _run_sweep(args)
     else:
+        if args.experiment != "interference":
+            # Classic experiments get the historical defaults; interference
+            # resolves omitted flags against its presets' own defaults.
+            if args.duration is None:
+                args.duration = 90.0
+            if args.load is None:
+                args.load = 50.0
+            if args.application is None:
+                args.application = "social_network"
         runner = EXPERIMENTS[args.experiment]
         payload = _to_jsonable(runner(args))
 

@@ -19,8 +19,9 @@ from repro.cluster.resources import (
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.container import Container
 from repro.cluster.instance import MicroserviceInstance
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, TenantClusterView
 from repro.cluster.orchestrator import Orchestrator, ScaleAction
+from repro.cluster.scheduler import PlacementPolicy, Scheduler
 from repro.cluster.actuation import ACTUATION_LATENCY, ActuationModel
 from repro.cluster.telemetry import TelemetrySample, TelemetryCollector
 
@@ -35,8 +36,11 @@ __all__ = [
     "Container",
     "MicroserviceInstance",
     "Cluster",
+    "TenantClusterView",
     "Orchestrator",
     "ScaleAction",
+    "PlacementPolicy",
+    "Scheduler",
     "ACTUATION_LATENCY",
     "ActuationModel",
     "TelemetrySample",

@@ -4,6 +4,13 @@ The cluster is the substrate equivalent of the paper's 15-node Kubernetes
 deployment.  It owns node placement, tracks the replica sets of every
 deployed microservice, and offers the aggregate queries the orchestrator,
 telemetry collector, and experiment harness rely on.
+
+One cluster can host **multiple tenants**: each deployed service may carry
+the identity of the tenant that owns it, containers inherit that identity,
+and per-tenant aggregate queries sit next to the cluster-wide ones.
+:class:`TenantClusterView` narrows the cluster API to one tenant so that
+per-tenant controllers and orchestrators operate on their own services
+while contention still flows through the shared nodes.
 """
 
 from __future__ import annotations
@@ -47,6 +54,8 @@ class Cluster:
         self.nodes: List[Node] = [Node(spec) for spec in node_specs]
         self._replicas: Dict[str, List[MicroserviceInstance]] = defaultdict(list)
         self._profiles: Dict[str, ServiceProfile] = {}
+        #: Tenant owning each deployed service (None = untenanted).
+        self._service_tenants: Dict[str, Optional[str]] = {}
         if scheduler is None:
             from repro.cluster.scheduler import Scheduler
 
@@ -85,16 +94,24 @@ class Cluster:
         replicas: int = 1,
         limits: Optional[ResourceLimits] = None,
         node: Optional[Node] = None,
+        tenant: Optional[str] = None,
     ) -> List[MicroserviceInstance]:
         """Deploy ``replicas`` instances of a microservice.
 
         Placement uses a least-allocated heuristic (the Kubernetes default
         scheduler's spreading behaviour) unless a node is pinned explicitly.
+        ``tenant`` records which tenant owns the service; its containers are
+        tagged with the same identity so tenant-aware placement and
+        per-tenant accounting can tell co-located tenants apart.  Scaling a
+        service re-uses the tenant it was first deployed under.
         """
         self._profiles[profile.name] = profile
+        if tenant is None:
+            tenant = self._service_tenants.get(profile.name)
+        self._service_tenants[profile.name] = tenant
         instances: List[MicroserviceInstance] = []
         for _ in range(replicas):
-            instances.append(self._deploy_one(profile, limits, node))
+            instances.append(self._deploy_one(profile, limits, node, tenant))
         return instances
 
     def _deploy_one(
@@ -102,13 +119,16 @@ class Cluster:
         profile: ServiceProfile,
         limits: Optional[ResourceLimits],
         node: Optional[Node],
+        tenant: Optional[str] = None,
     ) -> MicroserviceInstance:
         target = (
             node
             if node is not None
-            else self.scheduler.place(self.nodes, limits, service_name=profile.name)
+            else self.scheduler.place(
+                self.nodes, limits, service_name=profile.name, tenant=tenant
+            )
         )
-        container = Container(profile.name, limits=limits, threads=profile.threads)
+        container = Container(profile.name, limits=limits, threads=profile.threads, tenant=tenant)
         target.add_container(container)
         replica_index = len(self._replicas[profile.name])
         instance = MicroserviceInstance(
@@ -131,9 +151,26 @@ class Cluster:
             node.remove_container(instance.container)
 
     # --------------------------------------------------------------- queries
-    def services(self) -> List[str]:
-        """Names of all deployed microservices."""
-        return sorted(name for name, replicas in self._replicas.items() if replicas)
+    def services(self, tenant: Optional[str] = None) -> List[str]:
+        """Names of deployed microservices (optionally one tenant's only)."""
+        names = sorted(name for name, replicas in self._replicas.items() if replicas)
+        if tenant is None:
+            return names
+        return [name for name in names if self._service_tenants.get(name) == tenant]
+
+    def tenants(self) -> List[str]:
+        """Identities of all tenants with at least one deployed service."""
+        return sorted(
+            {
+                tenant
+                for name, tenant in self._service_tenants.items()
+                if tenant is not None and self._replicas.get(name)
+            }
+        )
+
+    def tenant_of(self, service_name: str) -> Optional[str]:
+        """The tenant owning a deployed service (None when untenanted)."""
+        return self._service_tenants.get(service_name)
 
     def replicas_of(self, service_name: str) -> List[MicroserviceInstance]:
         """All replicas of a service (empty list if not deployed)."""
@@ -158,9 +195,16 @@ class Cluster:
             raise KeyError(f"service {service_name!r} is not deployed")
         return min(replicas, key=lambda instance: instance.in_flight)
 
-    def total_requested_cpu(self) -> float:
-        """Sum of CPU limits across all containers (Fig. 10(b)'s metric)."""
-        return sum(container.limits[Resource.CPU] for container in self.all_containers())
+    def total_requested_cpu(self, tenant: Optional[str] = None) -> float:
+        """Sum of CPU limits across containers (Fig. 10(b)'s metric).
+
+        With ``tenant`` given, only that tenant's containers are counted.
+        """
+        return sum(
+            container.limits[Resource.CPU]
+            for container in self.all_containers()
+            if tenant is None or container.tenant == tenant
+        )
 
     def total_capacity(self) -> ResourceVector:
         """Aggregate capacity across all nodes."""
@@ -180,4 +224,120 @@ class Cluster:
         return (
             f"Cluster(nodes={len(self.nodes)}, services={len(self.services())}, "
             f"containers={len(self.all_containers())})"
+        )
+
+
+class TenantClusterView:
+    """One tenant's view of a shared cluster.
+
+    The view exposes the :class:`Cluster` API with every service-level query
+    scoped to the tenant's own services, while node-level state (topology,
+    capacity, utilization) stays shared — so a controller handed a view can
+    only see and act on its tenant's containers, yet still experiences the
+    contention generated by everyone co-located on the same nodes.
+
+    Controllers, orchestrators, runtimes, and injectors accept a view
+    anywhere they accept a cluster; deployments made through the view are
+    automatically tagged with the tenant's identity.
+    """
+
+    def __init__(self, cluster: Cluster, tenant: str) -> None:
+        self.cluster = cluster
+        self.tenant = tenant
+
+    # ------------------------------------------------------- shared topology
+    @property
+    def engine(self) -> SimulationEngine:
+        return self.cluster.engine
+
+    @property
+    def rng(self) -> SeededRNG:
+        return self.cluster.rng
+
+    @property
+    def nodes(self) -> List[Node]:
+        return self.cluster.nodes
+
+    @property
+    def scheduler(self):
+        return self.cluster.scheduler
+
+    def node_by_name(self, name: str) -> Node:
+        return self.cluster.node_by_name(name)
+
+    def total_capacity(self) -> ResourceVector:
+        return self.cluster.total_capacity()
+
+    def cluster_cpu_utilization(self) -> float:
+        """Cluster-wide utilization: contention is shared, so is this view."""
+        return self.cluster.cluster_cpu_utilization()
+
+    # ------------------------------------------------------- scoped queries
+    def _owns(self, service_name: str) -> bool:
+        return self.cluster.tenant_of(service_name) == self.tenant
+
+    def all_containers(self) -> List[Container]:
+        """Only the tenant's containers (in shared-cluster placement order)."""
+        return [
+            container
+            for container in self.cluster.all_containers()
+            if container.tenant == self.tenant
+        ]
+
+    def services(self) -> List[str]:
+        return self.cluster.services(tenant=self.tenant)
+
+    def replicas_of(self, service_name: str) -> List[MicroserviceInstance]:
+        if not self._owns(service_name):
+            return []
+        return self.cluster.replicas_of(service_name)
+
+    def profile_of(self, service_name: str) -> ServiceProfile:
+        if not self._owns(service_name):
+            raise KeyError(f"service {service_name!r} is not owned by tenant {self.tenant!r}")
+        return self.cluster.profile_of(service_name)
+
+    def instance_by_name(self, instance_name: str) -> MicroserviceInstance:
+        service = instance_name.split("#", 1)[0]
+        if not self._owns(service):
+            raise KeyError(f"instance {instance_name!r} is not owned by tenant {self.tenant!r}")
+        return self.cluster.instance_by_name(instance_name)
+
+    def pick_replica(self, service_name: str) -> MicroserviceInstance:
+        if not self._owns(service_name):
+            raise KeyError(f"service {service_name!r} is not owned by tenant {self.tenant!r}")
+        return self.cluster.pick_replica(service_name)
+
+    def total_requested_cpu(self) -> float:
+        return self.cluster.total_requested_cpu(tenant=self.tenant)
+
+    # ---------------------------------------------------- scoped deployment
+    def deploy_service(
+        self,
+        profile: ServiceProfile,
+        replicas: int = 1,
+        limits: Optional[ResourceLimits] = None,
+        node: Optional[Node] = None,
+        tenant: Optional[str] = None,
+    ) -> List[MicroserviceInstance]:
+        """Deploy on the shared cluster, tagged with this view's tenant."""
+        if tenant is not None and tenant != self.tenant:
+            raise ValueError(
+                f"tenant view {self.tenant!r} cannot deploy for tenant {tenant!r}"
+            )
+        return self.cluster.deploy_service(
+            profile, replicas=replicas, limits=limits, node=node, tenant=self.tenant
+        )
+
+    def remove_instance(self, instance: MicroserviceInstance) -> None:
+        if not self._owns(instance.profile.name):
+            raise KeyError(
+                f"instance {instance.name!r} is not owned by tenant {self.tenant!r}"
+            )
+        self.cluster.remove_instance(instance)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TenantClusterView(tenant={self.tenant!r}, "
+            f"services={len(self.services())}, containers={len(self.all_containers())})"
         )

@@ -38,6 +38,10 @@ class Container:
         Number of worker threads created by the service.  The paper notes
         the effective CPU limit is the smaller of the configured limit and
         ``threads x 100%``; we model the same cap.
+    tenant:
+        Identity of the tenant that deployed this container, or None for
+        untenanted (single-tenant) deployments.  Used by tenant-aware
+        placement and per-tenant telemetry/accounting.
     """
 
     def __init__(
@@ -45,9 +49,11 @@ class Container:
         service_name: str,
         limits: Optional[ResourceLimits] = None,
         threads: int = 8,
+        tenant: Optional[str] = None,
     ) -> None:
         self.id = f"{service_name}-{next(_container_ids)}"
         self.service_name = service_name
+        self.tenant = tenant
         self.limits: ResourceLimits = (
             ResourceLimits(dict(limits.values)) if limits is not None else default_container_limits()
         )

@@ -47,7 +47,14 @@ class ActionRecord:
 
 
 class Orchestrator:
-    """Executes resource-management actions with realistic actuation delays."""
+    """Executes resource-management actions with realistic actuation delays.
+
+    ``cluster`` may be the shared :class:`~repro.cluster.cluster.Cluster`
+    or one tenant's :class:`~repro.cluster.cluster.TenantClusterView`; in
+    the latter case every scale-out deploys containers tagged with (and
+    placed under the quotas of) that tenant, so each tenant of a
+    multi-tenant harness gets its own orchestrator over the shared nodes.
+    """
 
     def __init__(
         self,

@@ -7,12 +7,19 @@ contention — bin-packing concentrates load (higher utilization, more
 interference), spreading dilutes it, and anti-affinity keeps replicas of
 the same service apart so a single node-level anomaly cannot take out a
 whole replica set.
+
+Placement is also tenant-aware: every container may carry the identity of
+the tenant that deployed it, and the scheduler can isolate tenants from
+each other (``TENANT_ANTI_AFFINITY`` prefers nodes hosting no *other*
+tenant's containers) or cap a tenant's footprint (``node_quotas`` pins each
+tenant to at most N distinct nodes, after which new containers only land on
+nodes the tenant already occupies).
 """
 
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.node import Node
 from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceLimits, ResourceVector
@@ -26,6 +33,7 @@ class PlacementPolicy(str, enum.Enum):
     BINPACK = "binpack"          # most-allocated node that still fits
     RANDOM = "random"            # uniformly random among fitting nodes
     ANTI_AFFINITY = "anti_affinity"  # spread, avoiding nodes already hosting the service
+    TENANT_ANTI_AFFINITY = "tenant_anti_affinity"  # spread, avoiding other tenants' nodes
 
 
 class Scheduler:
@@ -37,15 +45,21 @@ class Scheduler:
         Placement strategy.
     rng:
         Seeded RNG (used by the random policy; harmless otherwise).
+    node_quotas:
+        Optional per-tenant node quotas: once a tenant's containers occupy
+        that many distinct nodes, further containers of the tenant are only
+        placed on nodes it already occupies.  Applied under every policy.
     """
 
     def __init__(
         self,
         policy: PlacementPolicy = PlacementPolicy.SPREAD,
         rng: Optional[SeededRNG] = None,
+        node_quotas: Optional[Dict[str, int]] = None,
     ) -> None:
         self.policy = PlacementPolicy(policy)
         self.rng = rng if rng is not None else SeededRNG(0)
+        self.node_quotas: Dict[str, int] = dict(node_quotas or {})
 
     # ------------------------------------------------------------------ API
     def place(
@@ -53,18 +67,23 @@ class Scheduler:
         nodes: Sequence[Node],
         limits: Optional[ResourceLimits],
         service_name: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Node:
         """Pick a node for a container with the given limits.
 
         Falls back to the least-allocated node when nothing fits (the
         cluster is oversubscribed on limits, which is allowed — limits are
-        caps, not reservations, until partitions are enforced).
+        caps, not reservations, until partitions are enforced).  When the
+        deploying ``tenant`` has a node quota, the candidate set is first
+        restricted to the nodes the tenant already occupies (once the quota
+        is exhausted); the quota always wins over the fit check.
         """
         if not nodes:
             raise ValueError("cannot place a container on an empty cluster")
         want = limits if limits is not None else ResourceLimits()
         fitting = [node for node in nodes if node.can_fit(want)]
         candidates = fitting if fitting else list(nodes)
+        candidates = self._apply_node_quota(nodes, candidates, tenant)
 
         if self.policy is PlacementPolicy.SPREAD:
             return min(candidates, key=self._allocation_score)
@@ -75,6 +94,8 @@ class Scheduler:
             return candidates[index]
         if self.policy is PlacementPolicy.ANTI_AFFINITY:
             return self._anti_affinity(candidates, service_name)
+        if self.policy is PlacementPolicy.TENANT_ANTI_AFFINITY:
+            return self._tenant_anti_affinity(candidates, tenant)
         raise ValueError(f"unknown placement policy {self.policy!r}")
 
     # ------------------------------------------------------------- internals
@@ -101,3 +122,47 @@ class Scheduler:
         ]
         pool = without_replica if without_replica else candidates
         return min(pool, key=self._allocation_score)
+
+    def _tenant_anti_affinity(self, candidates: List[Node], tenant: Optional[str]) -> Node:
+        """Prefer nodes hosting no containers of *other* tenants.
+
+        Untenanted containers (``tenant is None``) are neutral: they block
+        nobody, so shared infrastructure can co-exist with every tenant.
+        When every candidate already hosts a foreign tenant the policy
+        degrades to plain spreading (co-location is then unavoidable, which
+        is exactly the contention regime interference scenarios study).
+        """
+        if tenant is None:
+            return min(candidates, key=self._allocation_score)
+        exclusive = [
+            node
+            for node in candidates
+            if all(
+                container.tenant is None or container.tenant == tenant
+                for container in node.containers
+            )
+        ]
+        pool = exclusive if exclusive else candidates
+        return min(pool, key=self._allocation_score)
+
+    def _apply_node_quota(
+        self,
+        nodes: Sequence[Node],
+        candidates: List[Node],
+        tenant: Optional[str],
+    ) -> List[Node]:
+        """Restrict candidates to a tenant's occupied nodes once its quota fills."""
+        if tenant is None:
+            return candidates
+        quota = self.node_quotas.get(tenant)
+        if not quota or quota <= 0:
+            return candidates
+        occupied = [
+            node
+            for node in nodes
+            if any(container.tenant == tenant for container in node.containers)
+        ]
+        if len(occupied) < quota:
+            return candidates
+        restricted = [node for node in candidates if node in occupied]
+        return restricted if restricted else occupied

@@ -40,6 +40,9 @@ class TelemetrySample:
         Hosting node name.
     queue_length:
         Instance queue length at sample time.
+    tenant:
+        Tenant owning the sampled container (None when untenanted), so
+        per-tenant extractors can filter a shared telemetry stream.
     """
 
     time: float
@@ -50,6 +53,7 @@ class TelemetrySample:
     limits: ResourceVector
     node: Optional[str] = None
     queue_length: int = 0
+    tenant: Optional[str] = None
 
     def as_row(self) -> Dict[str, float]:
         """Flatten to a plain dict (telemetry export format)."""
@@ -124,6 +128,7 @@ class TelemetryCollector:
             limits=container.limits.copy(),
             node=container.node.name if container.node is not None else None,
             queue_length=instance.queue_length if instance is not None else 0,
+            tenant=container.tenant,
         )
         self._samples[container.id].append(sample)
         return sample

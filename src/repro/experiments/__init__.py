@@ -8,7 +8,20 @@ serially or across worker processes — through
 :mod:`repro.experiments.sweep`.
 """
 
-from repro.experiments.harness import ExperimentHarness, ExperimentResult
-from repro.experiments.scenario import ScenarioSpec, run_scenario
+from repro.experiments.harness import (
+    ExperimentHarness,
+    ExperimentResult,
+    TenantResult,
+    TenantRuntime,
+)
+from repro.experiments.scenario import ScenarioSpec, TenantSpec, run_scenario
 
-__all__ = ["ExperimentHarness", "ExperimentResult", "ScenarioSpec", "run_scenario"]
+__all__ = [
+    "ExperimentHarness",
+    "ExperimentResult",
+    "TenantResult",
+    "TenantRuntime",
+    "ScenarioSpec",
+    "TenantSpec",
+    "run_scenario",
+]

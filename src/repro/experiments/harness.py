@@ -1,25 +1,34 @@
 """Experiment harness: builds and runs full end-to-end scenarios.
 
-The harness wires together one benchmark application, the simulated
-cluster, tracing, telemetry, workload generation, anomaly injection, and a
-resource-management controller (looked up by name in the controller
-registry), and runs the scenario for a configured duration while
-collecting SLO statistics and mitigation times.  Scenarios are described
-declaratively by :class:`~repro.experiments.scenario.ScenarioSpec` and
-built with :meth:`ExperimentHarness.from_spec`; every per-figure
-experiment module is a thin layer over this harness.
+The harness wires one simulated cluster shared by **one or more tenants**.
+Each tenant bundles a benchmark application, its tracing coordinator, a
+workload generator, an optional anomaly campaign, and an optional resource
+controller (looked up by name in the controller registry) — all captured
+in a :class:`TenantRuntime`.  Single-tenant scenarios have exactly one
+tenant whose wiring is identical to the classic harness (untenanted, no
+service-name namespacing), so their results are unchanged; multi-tenant
+scenarios namespace every tenant's services, tag traces/telemetry with
+tenant identity, and scope each tenant's controller through a
+:class:`~repro.cluster.cluster.TenantClusterView` while contention flows
+across tenants through the shared nodes.
 
-SLO accounting is streaming: the harness observes each trace through a
-tracing-coordinator completion hook the moment the request finishes, so
-heavy-traffic runs do not need to retain every trace until the end and
-traces evicted from the bounded :class:`~repro.tracing.store.TraceStore`
-are still counted.
+Scenarios are described declaratively by
+:class:`~repro.experiments.scenario.ScenarioSpec` (optionally carrying
+:class:`~repro.experiments.scenario.TenantSpec` entries) and built with
+:meth:`ExperimentHarness.from_spec`; every per-figure experiment module is
+a thin layer over this harness.
+
+SLO accounting is streaming and per tenant: the harness observes each
+trace through the owning tenant's tracing-coordinator completion hook the
+moment the request finishes, so heavy-traffic runs do not need to retain
+every trace until the end and traces evicted from the bounded
+:class:`~repro.tracing.store.TraceStore` are still counted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.anomaly.campaigns import AnomalyCampaign
 from repro.anomaly.injector import PerformanceAnomalyInjector
@@ -27,13 +36,15 @@ from repro.apps.catalog import build_application
 from repro.apps.graph import ServiceGraph
 from repro.apps.runtime import ApplicationRuntime
 from repro.baselines.base import ResourceController, create_controller
-from repro.cluster.cluster import Cluster
+from repro.cluster.cluster import Cluster, TenantClusterView
+from repro.cluster.node import NodeSpec
 from repro.cluster.orchestrator import Orchestrator
+from repro.cluster.scheduler import PlacementPolicy, Scheduler
 from repro.cluster.telemetry import TelemetryCollector
 from repro.core.firm import FIRMConfig, FIRMController
-from repro.experiments.scenario import ScenarioSpec, run_scenario
+from repro.experiments.scenario import ScenarioSpec, TenantSpec, run_scenario
 from repro.metrics.latency import LatencyStats
-from repro.metrics.slo import MitigationTracker, SLOTracker
+from repro.metrics.slo import MitigationTracker, SLOTracker, merge_slo_trackers
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRNG
 from repro.tracing.coordinator import TracingCoordinator
@@ -42,9 +53,102 @@ from repro.workload.generators import WorkloadGenerator
 from repro.workload.patterns import ArrivalPattern, ConstantPattern
 
 
+class TenantRuntime:
+    """One tenant's full wiring inside a (possibly shared) harness.
+
+    Exposes ``.app`` and ``.rng`` with single-tenant-harness semantics so
+    picklable campaign builders written against the harness work unchanged
+    against a tenant.  The *primary* tenant of a single-tenant harness is
+    untenanted (``tenant_id is None``): its view is the raw cluster, its
+    services are not namespaced, and its RNG is the harness master RNG —
+    exactly the classic wiring.
+    """
+
+    def __init__(
+        self,
+        name: Optional[str],
+        app: ServiceGraph,
+        view,
+        coordinator: TracingCoordinator,
+        runtime: ApplicationRuntime,
+        orchestrator: Orchestrator,
+        rng: SeededRNG,
+        engine: SimulationEngine,
+        spec: Optional[TenantSpec] = None,
+    ) -> None:
+        #: Tenant identity (None for the untenanted primary tenant).
+        self.tenant_id = name
+        self.app = app
+        #: Cluster or TenantClusterView the tenant deploys/queries through.
+        self.view = view
+        self.coordinator = coordinator
+        self.runtime = runtime
+        self.orchestrator = orchestrator
+        self.rng = rng
+        self.engine = engine
+        self.spec = spec
+        self.workload: Optional[WorkloadGenerator] = None
+        self.injector: Optional[PerformanceAnomalyInjector] = None
+        self.campaign: Optional[AnomalyCampaign] = None
+        self.controller: Optional[ResourceController] = None
+        self.controller_name = "none"
+        self.firm: Optional[FIRMController] = None
+
+    @property
+    def display_name(self) -> str:
+        """Tenant identity for reports (primary tenant reports its app)."""
+        return self.tenant_id if self.tenant_id is not None else self.app.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TenantRuntime(tenant={self.tenant_id!r}, app={self.app.name!r}, "
+            f"controller={self.controller_name!r})"
+        )
+
+
+@dataclass
+class TenantResult:
+    """Per-tenant outcome of one multi-tenant harness run."""
+
+    tenant: str
+    application: str
+    controller: str
+    slo: SLOTracker
+    latency: LatencyStats
+    mitigation: MitigationTracker
+    requested_cpu_samples: List[float] = field(default_factory=list)
+    dropped_requests: int = 0
+
+    @property
+    def mean_requested_cpu(self) -> float:
+        """Mean requested CPU limit of this tenant's containers."""
+        if not self.requested_cpu_samples:
+            return 0.0
+        return float(sum(self.requested_cpu_samples) / len(self.requested_cpu_samples))
+
+    def summary(self) -> Dict[str, float]:
+        """Headline numbers for this tenant."""
+        return {
+            "completed": float(self.slo.completed),
+            "violations": float(self.slo.violations),
+            "violation_rate": self.slo.violation_rate,
+            "dropped": float(self.slo.dropped),
+            "p50_ms": self.latency.median,
+            "p99_ms": self.latency.p99,
+            "mean_requested_cpu": self.mean_requested_cpu,
+            "mean_mitigation_time_s": self.mitigation.mean_mitigation_time_s(),
+        }
+
+
 @dataclass
 class ExperimentResult:
-    """Aggregate outcome of one harness run."""
+    """Aggregate outcome of one harness run.
+
+    For multi-tenant runs the top-level ``slo``/``latency`` fields are the
+    merged cluster-level view across tenants and the per-tenant breakdown
+    is available via :attr:`tenant_results` (kept off the dataclass fields
+    so single-tenant JSON exports are unchanged).
+    """
 
     application: str
     controller: str
@@ -55,6 +159,13 @@ class ExperimentResult:
     requested_cpu_samples: List[float] = field(default_factory=list)
     cluster_cpu_utilization_samples: List[float] = field(default_factory=list)
     dropped_requests: int = 0
+
+    def __post_init__(self) -> None:
+        #: Per-tenant results, in tenant order (empty for single-tenant
+        #: runs).  A plain attribute, not a dataclass field, so generic
+        #: dataclass-to-JSON conversion of single-tenant results is
+        #: byte-for-byte identical to the pre-multi-tenant output.
+        self.tenant_results: Dict[str, TenantResult] = {}
 
     @property
     def mean_requested_cpu(self) -> float:
@@ -91,40 +202,220 @@ class ExperimentResult:
             "mean_mitigation_time_s": self.mitigation.mean_mitigation_time_s(),
         }
 
+    def per_tenant_summary(self) -> Dict[str, Dict[str, float]]:
+        """Headline numbers per tenant (empty for single-tenant runs)."""
+        return {name: result.summary() for name, result in self.tenant_results.items()}
+
 
 class ExperimentHarness:
-    """One fully wired scenario: app + cluster + workload + controller."""
+    """One fully wired scenario: tenants + shared cluster + controllers."""
 
     def __init__(
         self,
-        app: ServiceGraph,
+        app: Optional[ServiceGraph],
         engine: SimulationEngine,
         rng: SeededRNG,
+        scheduler: Optional[Scheduler] = None,
+        node_specs: Optional[List[NodeSpec]] = None,
     ) -> None:
-        self.app = app
         self.engine = engine
         self.rng = rng
-        self.cluster = Cluster(engine, rng)
+        self.cluster = Cluster(engine, rng, node_specs=node_specs, scheduler=scheduler)
         self.telemetry = TelemetryCollector(self.cluster, engine)
-        self.coordinator = TracingCoordinator(engine, telemetry=self.telemetry)
-        self.runtime = ApplicationRuntime(app, self.cluster, self.coordinator, engine)
-        self.orchestrator = Orchestrator(self.cluster, engine, rng)
-        self.workload: Optional[WorkloadGenerator] = None
-        self.injector: Optional[PerformanceAnomalyInjector] = None
-        self.campaign: Optional[AnomalyCampaign] = None
-        self.controller: Optional[ResourceController] = None
-        self.controller_name = "none"
-        self.firm: Optional[FIRMController] = None
+        #: All tenants, in deployment order.  Single-tenant harnesses hold
+        #: exactly one untenanted entry whose wiring matches the classic
+        #: harness; its members are also reachable through the legacy
+        #: ``harness.coordinator`` / ``harness.runtime`` / ... attributes.
+        self.tenants: List[TenantRuntime] = []
         self.spec: Optional[ScenarioSpec] = None
+        if app is not None:
+            self._add_primary_tenant(app)
+
+    # ------------------------------------------------------- tenant plumbing
+    def _add_primary_tenant(self, app: ServiceGraph) -> TenantRuntime:
+        """Wire the classic untenanted tenant (single-tenant harness)."""
+        coordinator = TracingCoordinator(self.engine, telemetry=self.telemetry)
+        runtime = ApplicationRuntime(app, self.cluster, coordinator, self.engine)
+        orchestrator = Orchestrator(self.cluster, self.engine, self.rng)
+        tenant = TenantRuntime(
+            name=None,
+            app=app,
+            view=self.cluster,
+            coordinator=coordinator,
+            runtime=runtime,
+            orchestrator=orchestrator,
+            rng=self.rng,
+            engine=self.engine,
+        )
+        self.tenants.append(tenant)
+        return tenant
+
+    def add_tenant(self, tenant_spec: TenantSpec) -> TenantRuntime:
+        """Deploy and fully wire one tenant of a multi-tenant scenario.
+
+        The tenant's application graph is namespaced under its name, its
+        RNG is an independent child family spawned from the master seed,
+        its coordinator/orchestrator/controller operate through a
+        tenant-scoped cluster view, and its SLO targets are the
+        application's declared SLOs scaled by ``slo_scale`` with optional
+        per-request-type overrides.
+        """
+        name = tenant_spec.name
+        if not name:
+            raise ValueError("tenant specs must be named")
+        if any(t.tenant_id == name for t in self.tenants):
+            raise ValueError(f"tenant {name!r} is already deployed")
+        if tenant_spec.node_quota is not None:
+            self.cluster.scheduler.node_quotas[name] = int(tenant_spec.node_quota)
+
+        app = build_application(tenant_spec.application).namespaced(name)
+        tenant_rng = self.rng.spawn(f"tenant:{name}")
+        view = TenantClusterView(self.cluster, name)
+        coordinator = TracingCoordinator(self.engine, telemetry=self.telemetry, tenant=name)
+        runtime = ApplicationRuntime(app, view, coordinator, self.engine, tenant=name)
+        orchestrator = Orchestrator(view, self.engine, tenant_rng)
+        tenant = TenantRuntime(
+            name=name,
+            app=app,
+            view=view,
+            coordinator=coordinator,
+            runtime=runtime,
+            orchestrator=orchestrator,
+            rng=tenant_rng,
+            engine=self.engine,
+            spec=tenant_spec,
+        )
+        self.tenants.append(tenant)
+
+        runtime.deploy()
+        self._apply_slo_targets(tenant, tenant_spec)
+        self._attach_workload(
+            tenant,
+            pattern=tenant_spec.pattern,
+            load_rps=tenant_spec.load_rps,
+            request_mix=tenant_spec.request_mix,
+        )
+        campaign = tenant_spec.campaign
+        if campaign is None and tenant_spec.campaign_builder is not None:
+            campaign = tenant_spec.campaign_builder(tenant)
+        if campaign is not None:
+            self._attach_injector(tenant, campaign)
+        self._attach_controller(
+            tenant, tenant_spec.controller, **tenant_spec.controller_kwargs
+        )
+        return tenant
+
+    @staticmethod
+    def _apply_slo_targets(tenant: TenantRuntime, tenant_spec: TenantSpec) -> None:
+        """Scale/override the SLOs the runtime registered at deploy time."""
+        slos = tenant.coordinator.slo_latency_ms
+        if tenant_spec.slo_scale != 1.0:
+            for request_type in list(slos):
+                slos[request_type] = slos[request_type] * float(tenant_spec.slo_scale)
+        for request_type, value in (tenant_spec.slo_latency_ms or {}).items():
+            slos[request_type] = float(value)
+
+    def tenant(self, name: str) -> TenantRuntime:
+        """Look up a tenant by name (the primary tenant has name None)."""
+        for tenant in self.tenants:
+            if tenant.tenant_id == name:
+                return tenant
+        raise KeyError(f"no tenant named {name!r}")
+
+    @property
+    def _primary(self) -> TenantRuntime:
+        if not self.tenants:
+            raise RuntimeError("harness has no tenants")
+        return self.tenants[0]
+
+    @property
+    def is_multi_tenant(self) -> bool:
+        return len(self.tenants) > 1 or (
+            len(self.tenants) == 1 and self.tenants[0].tenant_id is not None
+        )
+
+    # ----------------------------------------------- legacy (primary) wiring
+    # Single-tenant callers address the harness's app/coordinator/controller
+    # directly; these delegate to the primary tenant so every pre-existing
+    # experiment, example, and test keeps working unchanged.
+    @property
+    def app(self) -> ServiceGraph:
+        return self._primary.app
+
+    @property
+    def coordinator(self) -> TracingCoordinator:
+        return self._primary.coordinator
+
+    @property
+    def runtime(self) -> ApplicationRuntime:
+        return self._primary.runtime
+
+    @property
+    def orchestrator(self) -> Orchestrator:
+        return self._primary.orchestrator
+
+    @property
+    def workload(self) -> Optional[WorkloadGenerator]:
+        return self._primary.workload
+
+    @workload.setter
+    def workload(self, value: Optional[WorkloadGenerator]) -> None:
+        self._primary.workload = value
+
+    @property
+    def injector(self) -> Optional[PerformanceAnomalyInjector]:
+        return self._primary.injector
+
+    @injector.setter
+    def injector(self, value: Optional[PerformanceAnomalyInjector]) -> None:
+        self._primary.injector = value
+
+    @property
+    def campaign(self) -> Optional[AnomalyCampaign]:
+        return self._primary.campaign
+
+    @campaign.setter
+    def campaign(self, value: Optional[AnomalyCampaign]) -> None:
+        self._primary.campaign = value
+
+    @property
+    def controller(self) -> Optional[ResourceController]:
+        return self._primary.controller
+
+    @controller.setter
+    def controller(self, value: Optional[ResourceController]) -> None:
+        self._primary.controller = value
+
+    @property
+    def controller_name(self) -> str:
+        return self._primary.controller_name
+
+    @controller_name.setter
+    def controller_name(self, value: str) -> None:
+        self._primary.controller_name = value
+
+    @property
+    def firm(self) -> Optional[FIRMController]:
+        return self._primary.firm
+
+    @firm.setter
+    def firm(self, value: Optional[FIRMController]) -> None:
+        self._primary.firm = value
 
     # ----------------------------------------------------------------- build
     @classmethod
-    def build(cls, application: str = "social_network", seed: int = 0) -> "ExperimentHarness":
+    def build(
+        cls,
+        application: str = "social_network",
+        seed: int = 0,
+        scheduler: Optional[Scheduler] = None,
+        node_specs: Optional[List[NodeSpec]] = None,
+    ) -> "ExperimentHarness":
         """Build a harness for one of the four benchmark applications."""
         engine = SimulationEngine()
         rng = SeededRNG(seed)
         app = build_application(application)
-        harness = cls(app, engine, rng)
+        harness = cls(app, engine, rng, scheduler=scheduler, node_specs=node_specs)
         harness.runtime.deploy()
         harness.telemetry.start()
         return harness
@@ -133,13 +424,26 @@ class ExperimentHarness:
     def from_spec(cls, spec: ScenarioSpec) -> "ExperimentHarness":
         """Build the fully wired harness described by ``spec``.
 
-        Wires, in order: application + cluster, workload (explicit pattern
-        or constant ``load_rps``), anomaly campaign (pre-built or realized
-        through ``spec.campaign_builder``), and the controller looked up in
-        the registry.  The realized campaign is kept on ``harness.campaign``
-        for experiments that need its schedule (e.g. its end time).
+        Single-tenant specs wire, in order: application + cluster, workload
+        (explicit pattern or constant ``load_rps``), anomaly campaign
+        (pre-built or realized through ``spec.campaign_builder``), and the
+        controller looked up in the registry.  The realized campaign is
+        kept on ``harness.campaign`` for experiments that need its schedule
+        (e.g. its end time).
+
+        Multi-tenant specs (``spec.tenants``) deploy every tenant in order
+        onto one shared cluster; each tenant gets the same treatment with
+        its own namespaced application, workload, campaign, SLO targets,
+        and controller.
         """
-        harness = cls.build(application=spec.application, seed=spec.seed)
+        if spec.tenants:
+            return cls._from_multi_tenant_spec(spec)
+        harness = cls.build(
+            application=spec.application,
+            seed=spec.seed,
+            scheduler=cls._scheduler_from_spec(spec, SeededRNG(spec.seed)),
+            node_specs=cls._node_specs_from_spec(spec),
+        )
         harness.spec = spec
         if spec.pattern is not None:
             harness.attach_workload(pattern=spec.pattern, request_mix=spec.request_mix)
@@ -153,6 +457,47 @@ class ExperimentHarness:
         harness.attach_controller(spec.controller, **spec.controller_kwargs)
         return harness
 
+    @classmethod
+    def _from_multi_tenant_spec(cls, spec: ScenarioSpec) -> "ExperimentHarness":
+        engine = SimulationEngine()
+        rng = SeededRNG(spec.seed)
+        harness = cls(
+            None,
+            engine,
+            rng,
+            scheduler=cls._scheduler_from_spec(spec, rng),
+            node_specs=cls._node_specs_from_spec(spec),
+        )
+        harness.spec = spec
+        for tenant_spec in spec.tenants:
+            harness.add_tenant(tenant_spec)
+        harness.telemetry.start()
+        return harness
+
+    @staticmethod
+    def _scheduler_from_spec(spec: ScenarioSpec, rng: SeededRNG) -> Optional[Scheduler]:
+        """A scheduler for the spec (None = the cluster's default spread)."""
+        quotas = {
+            tenant.name: int(tenant.node_quota)
+            for tenant in (spec.tenants or ())
+            if tenant.node_quota
+        }
+        if spec.placement is None and not quotas:
+            return None
+        policy = (
+            PlacementPolicy(spec.placement)
+            if spec.placement is not None
+            else PlacementPolicy.SPREAD
+        )
+        return Scheduler(policy, rng=rng, node_quotas=quotas)
+
+    @staticmethod
+    def _node_specs_from_spec(spec: ScenarioSpec) -> Optional[List[NodeSpec]]:
+        if spec.cluster_nodes is None:
+            return None
+        x86_nodes, ppc64_nodes = spec.cluster_nodes
+        return Cluster.default_node_specs(int(x86_nodes), int(ppc64_nodes))
+
     # ------------------------------------------------------------ controllers
     def attach_controller(self, name: str, **kwargs) -> Optional[ResourceController]:
         """Attach the controller registered under ``name`` (or an alias).
@@ -160,16 +505,23 @@ class ExperimentHarness:
         Raises ``ValueError`` for names missing from the registry.  The
         ``"none"`` policy detaches any current controller.  A previously
         attached (possibly started) controller is stopped first so its
-        control loop cannot keep acting alongside the replacement.
+        control loop cannot keep acting alongside the replacement.  Targets
+        the primary tenant; multi-tenant controllers are attached through
+        :meth:`add_tenant` (one per tenant, each scoped to its own view).
         """
+        return self._attach_controller(self._primary, name, **kwargs)
+
+    def _attach_controller(
+        self, tenant: TenantRuntime, name: str, **kwargs
+    ) -> Optional[ResourceController]:
         controller = create_controller(
-            name, self.cluster, self.coordinator, self.orchestrator, self.engine, **kwargs
+            name, tenant.view, tenant.coordinator, tenant.orchestrator, self.engine, **kwargs
         )
-        if self.controller is not None:
-            self.controller.stop()
-        self.controller = controller
-        self.controller_name = name
-        self.firm = controller if isinstance(controller, FIRMController) else None
+        if tenant.controller is not None:
+            tenant.controller.stop()
+        tenant.controller = controller
+        tenant.controller_name = name
+        tenant.firm = controller if isinstance(controller, FIRMController) else None
         return controller
 
     def attach_firm(self, config: Optional[FIRMConfig] = None, **kwargs) -> FIRMController:
@@ -191,25 +543,41 @@ class ExperimentHarness:
         load_rps: float = 100.0,
         request_mix: Optional[Sequence] = None,
     ) -> WorkloadGenerator:
-        """Attach an open-loop workload generator."""
+        """Attach an open-loop workload generator (primary tenant)."""
+        return self._attach_workload(
+            self._primary, pattern=pattern, load_rps=load_rps, request_mix=request_mix
+        )
+
+    def _attach_workload(
+        self,
+        tenant: TenantRuntime,
+        pattern: Optional[ArrivalPattern] = None,
+        load_rps: float = 100.0,
+        request_mix: Optional[Sequence] = None,
+    ) -> WorkloadGenerator:
         if pattern is None:
             pattern = ConstantPattern(rate=load_rps)
-        self.workload = WorkloadGenerator(
-            self.runtime, self.engine, self.rng, pattern=pattern, request_mix=request_mix
+        tenant.workload = WorkloadGenerator(
+            tenant.runtime, self.engine, tenant.rng, pattern=pattern, request_mix=request_mix
         )
-        return self.workload
+        return tenant.workload
 
     def attach_injector(
         self, campaign: Optional[AnomalyCampaign] = None
     ) -> PerformanceAnomalyInjector:
         """Attach the anomaly injector (optionally pre-loading a campaign)."""
-        self.injector = PerformanceAnomalyInjector(
-            self.cluster, self.engine, workload=self.workload
+        return self._attach_injector(self._primary, campaign)
+
+    def _attach_injector(
+        self, tenant: TenantRuntime, campaign: Optional[AnomalyCampaign] = None
+    ) -> PerformanceAnomalyInjector:
+        tenant.injector = PerformanceAnomalyInjector(
+            tenant.view, self.engine, workload=tenant.workload
         )
-        self.campaign = campaign
+        tenant.campaign = campaign
         if campaign is not None:
-            self.injector.schedule_all(campaign.specs)
-        return self.injector
+            tenant.injector.schedule_all(campaign.specs)
+        return tenant.injector
 
     # -------------------------------------------------------------------- run
     def run(
@@ -223,25 +591,96 @@ class ExperimentHarness:
 
         ``warmup_s`` seconds at the start are excluded from SLO accounting
         (the cluster starts empty, so the first requests see cold queues).
+        Every tenant's workload, campaign, and controller run concurrently
+        on the shared engine; SLO statistics are tracked per tenant and
+        merged into the cluster-level result (for single-tenant runs the
+        merged view *is* the tenant's, unchanged).  ``load_rps`` applies to
+        the primary tenant only (legacy convenience).
         """
-        if self.workload is None:
-            self.attach_workload(load_rps=load_rps if load_rps is not None else 100.0)
+        primary = self._primary
+        if primary.workload is None:
+            self._attach_workload(
+                primary, load_rps=load_rps if load_rps is not None else 100.0
+            )
         elif load_rps is not None:
-            self.workload.pattern = ConstantPattern(rate=load_rps)
+            primary.workload.pattern = ConstantPattern(rate=load_rps)
 
-        slo_tracker = SLOTracker(dict(self.coordinator.slo_latency_ms))
-        mitigation = MitigationTracker()
-        requested_cpu: List[float] = []
-        cpu_utilization: List[float] = []
         start_time = self.engine.now
         end_time = start_time + duration_s
         accounting_start = start_time + warmup_s
 
-        # Streaming SLO accounting: observe every trace the moment it
-        # finishes.  A trace can fire twice in either order (a downstream
-        # drop before the entry span completes, or a background call's
-        # rejection after it) — "dropped" is the final word either way,
-        # matching the old end-of-run scan of the trace store.
+        requested_cpu: List[float] = []
+        cpu_utilization: List[float] = []
+
+        # Per-tenant streaming SLO accounting: observe every trace through
+        # the owning tenant's coordinator the moment it finishes.  A trace
+        # can fire twice in either order (a downstream drop before the
+        # entry span completes, or a background call's rejection after it)
+        # — "dropped" is the final word either way, matching the old
+        # end-of-run scan of the trace store.
+        trackers: List[Tuple[TenantRuntime, SLOTracker, MitigationTracker, List[float]]] = []
+        hooks: List[Tuple[TracingCoordinator, object]] = []
+        for tenant in self.tenants:
+            slo_tracker = SLOTracker(dict(tenant.coordinator.slo_latency_ms))
+            mitigation = MitigationTracker()
+            tenant_cpu: List[float] = []
+            trackers.append((tenant, slo_tracker, mitigation, tenant_cpu))
+            hooks.append(
+                (tenant.coordinator, self._make_observer(slo_tracker, accounting_start))
+            )
+
+        cluster_mitigation = MitigationTracker() if len(self.tenants) > 1 else None
+        per_tenant_cpu = self.is_multi_tenant  # redundant with the cluster-wide
+        # sample when there is only the untenanted primary tenant
+
+        def _sample(engine: SimulationEngine) -> None:
+            requested_cpu.append(self.cluster.total_requested_cpu())
+            cpu_utilization.append(self.cluster.cluster_cpu_utilization())
+            any_violating = False
+            for tenant, _, mitigation, tenant_cpu in trackers:
+                if per_tenant_cpu:
+                    tenant_cpu.append(tenant.view.total_requested_cpu())
+                violating = tenant.coordinator.has_slo_violation(5.0)
+                any_violating = any_violating or violating
+                mitigation.update(engine.now, violating)
+            if cluster_mitigation is not None:
+                cluster_mitigation.update(engine.now, any_violating)
+
+        # Bound the sampling recurrence to this run (and cancel it on exit)
+        # so back-to-back run() calls on one harness never double-sample.
+        sample_event = self.engine.schedule_recurring(
+            sample_period_s, _sample, name="harness-sample", until=end_time
+        )
+        for coordinator, hook in hooks:
+            coordinator.add_completion_hook(hook)
+        try:
+            for tenant in self.tenants:
+                if tenant.controller is not None:
+                    tenant.controller.start()
+            for tenant in self.tenants:
+                if tenant.workload is not None:
+                    tenant.workload.start(duration_s=duration_s)
+            self.engine.run_until(end_time)
+            for _, _, mitigation, _ in trackers:
+                mitigation.close(self.engine.now)
+            if cluster_mitigation is not None:
+                cluster_mitigation.close(self.engine.now)
+        finally:
+            for coordinator, hook in hooks:
+                coordinator.remove_completion_hook(hook)
+            sample_event.cancel()
+
+        return self._collect_results(
+            trackers,
+            cluster_mitigation,
+            duration_s=duration_s,
+            requested_cpu=requested_cpu,
+            cpu_utilization=cpu_utilization,
+        )
+
+    @staticmethod
+    def _make_observer(slo_tracker: SLOTracker, accounting_start: float):
+        """A completion hook feeding one tenant's streaming SLO tracker."""
         outcomes: Dict[str, str] = {}
 
         def _observe_finished(trace: Trace) -> None:
@@ -255,40 +694,59 @@ class ExperimentHarness:
                 outcomes[trace.request_id] = "dropped"
                 slo_tracker.reclassify_as_dropped(trace)
 
-        def _sample(engine: SimulationEngine) -> None:
-            requested_cpu.append(self.cluster.total_requested_cpu())
-            cpu_utilization.append(self.cluster.cluster_cpu_utilization())
-            violating = self.coordinator.has_slo_violation(5.0)
-            mitigation.update(engine.now, violating)
+        return _observe_finished
 
-        # Bound the sampling recurrence to this run (and cancel it on exit)
-        # so back-to-back run() calls on one harness never double-sample.
-        sample_event = self.engine.schedule_recurring(
-            sample_period_s, _sample, name="harness-sample", until=end_time
-        )
-        self.coordinator.add_completion_hook(_observe_finished)
-        try:
-            if self.controller is not None:
-                self.controller.start()
-            self.workload.start(duration_s=duration_s)
-            self.engine.run_until(end_time)
-            mitigation.close(self.engine.now)
-        finally:
-            self.coordinator.remove_completion_hook(_observe_finished)
-            sample_event.cancel()
+    def _collect_results(
+        self,
+        trackers: List[Tuple[TenantRuntime, SLOTracker, MitigationTracker, List[float]]],
+        cluster_mitigation: Optional[MitigationTracker],
+        duration_s: float,
+        requested_cpu: List[float],
+        cpu_utilization: List[float],
+    ) -> ExperimentResult:
+        """Assemble per-tenant results and the merged cluster-level view."""
+        tenant_results: Dict[str, TenantResult] = {}
+        if self.is_multi_tenant:
+            for tenant, slo_tracker, mitigation, tenant_cpu in trackers:
+                tenant_results[tenant.display_name] = TenantResult(
+                    tenant=tenant.display_name,
+                    application=tenant.app.name,
+                    controller=tenant.controller_name,
+                    slo=slo_tracker,
+                    latency=LatencyStats.from_samples(slo_tracker.latencies_ms),
+                    mitigation=mitigation,
+                    requested_cpu_samples=tenant_cpu,
+                    dropped_requests=tenant.runtime.dropped_requests,
+                )
 
-        latency = LatencyStats.from_samples(slo_tracker.latencies_ms)
-        return ExperimentResult(
-            application=self.app.name,
-            controller=self.controller_name,
+        if len(trackers) == 1:
+            # Single tenant: the merged view *is* the tenant's (identical
+            # objects, identical numbers — the pre-multi-tenant result).
+            tenant, slo_tracker, mitigation, _ = trackers[0]
+            merged_slo = slo_tracker
+            merged_mitigation = mitigation
+            application = tenant.app.name
+            controller = tenant.controller_name
+        else:
+            merged_slo = merge_slo_trackers([t[1] for t in trackers])
+            merged_mitigation = cluster_mitigation or MitigationTracker()
+            application = "+".join(t[0].app.name for t in trackers)
+            controller = "+".join(t[0].controller_name for t in trackers)
+
+        result = ExperimentResult(
+            application=application,
+            controller=controller,
             duration_s=duration_s,
-            slo=slo_tracker,
-            latency=latency,
-            mitigation=mitigation,
+            slo=merged_slo,
+            latency=LatencyStats.from_samples(merged_slo.latencies_ms),
+            mitigation=merged_mitigation,
             requested_cpu_samples=requested_cpu,
             cluster_cpu_utilization_samples=cpu_utilization,
-            dropped_requests=self.runtime.dropped_requests,
+            dropped_requests=sum(t[0].runtime.dropped_requests for t in trackers),
         )
+        if self.is_multi_tenant:
+            result.tenant_results = tenant_results
+        return result
 
 
 def run_comparison(

@@ -9,6 +9,14 @@ figure/table module builds its harnesses from specs via
 sweep runner (:mod:`repro.experiments.sweep`) fans grids of specs out over
 worker processes.
 
+A spec describes either a classic **single-tenant** scenario (one
+application, one workload, one controller — the fields on the spec itself)
+or a **multi-tenant** one: a list of :class:`TenantSpec` entries, each with
+its own application graph, workload, SLO targets, anomaly campaign, and
+controller, all co-located on one shared simulated cluster so contention
+flows across tenants.  Single-tenant specs are untouched by the
+multi-tenant machinery and produce byte-identical results.
+
 Specs must stay picklable so they can cross process boundaries: prefer
 module-level functions (or :func:`functools.partial` over them) for
 ``campaign_builder``, never lambdas or closures.
@@ -25,6 +33,62 @@ from repro.workload.patterns import ArrivalPattern
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.harness import ExperimentHarness, ExperimentResult
+
+
+@dataclass
+class TenantSpec:
+    """One tenant of a multi-tenant scenario.
+
+    Attributes
+    ----------
+    name:
+        Unique tenant identity within the scenario (e.g. ``"victim"``).
+        Service names are namespaced under it (``victim/nginx``), traces,
+        spans, containers, and telemetry samples are tagged with it.
+    application:
+        Benchmark application name (see :mod:`repro.apps.catalog`).
+    load_rps / pattern / request_mix:
+        The tenant's own workload, exactly as on :class:`ScenarioSpec`.
+    controller / controller_kwargs:
+        The tenant's own resource controller (registry name); controllers
+        of different tenants run side by side, each scoped to its tenant's
+        services through a
+        :class:`~repro.cluster.cluster.TenantClusterView`.
+    campaign / campaign_builder:
+        Optional per-tenant anomaly campaign.  The builder is invoked with
+        the tenant's runtime context (which exposes ``.app`` and ``.rng``
+        like a single-tenant harness, so
+        :func:`random_campaign_builder` works unchanged) and must stay
+        picklable for parallel sweeps.
+    slo_scale:
+        Multiplier applied to the application's declared per-request-type
+        SLO latencies (e.g. ``0.5`` = a premium tenant with twice-as-tight
+        targets).
+    slo_latency_ms:
+        Optional per-request-type SLO overrides (by request-type name);
+        applied after ``slo_scale``.
+    node_quota:
+        Optional cap on how many distinct nodes this tenant's containers
+        may occupy (enforced by the scheduler for deployments and
+        scale-outs alike).
+    """
+
+    name: str
+    application: str = "social_network"
+    load_rps: float = 50.0
+    pattern: Optional[ArrivalPattern] = None
+    request_mix: Optional[Sequence[Tuple[str, float]]] = None
+    controller: str = "none"
+    controller_kwargs: Dict[str, Any] = field(default_factory=dict)
+    campaign: Optional[AnomalyCampaign] = None
+    campaign_builder: Optional[Callable] = None
+    slo_scale: float = 1.0
+    slo_latency_ms: Optional[Dict[str, float]] = None
+    node_quota: Optional[int] = None
+
+    def with_overrides(self, **overrides) -> "TenantSpec":
+        """A copy of this tenant spec with the given fields replaced."""
+        return replace(self, **overrides)
 
 
 @dataclass
@@ -64,6 +128,24 @@ class ScenarioSpec:
         Seconds at the start excluded from SLO accounting.
     sample_period_s:
         Period of the harness's utilization/mitigation sampling.
+    tenants:
+        Optional list of :class:`TenantSpec`.  When given, the scenario is
+        multi-tenant: the single-tenant fields ``application``, ``load_rps``,
+        ``pattern``, ``request_mix``, ``controller``, ``controller_kwargs``,
+        ``campaign`` and ``campaign_builder`` are ignored and each tenant
+        brings its own.  ``seed``, ``duration_s``, ``warmup_s`` and
+        ``sample_period_s`` stay scenario-wide.
+    placement:
+        Optional scheduler placement policy name (see
+        :class:`~repro.cluster.scheduler.PlacementPolicy`), e.g.
+        ``"tenant_anti_affinity"`` to keep tenants on disjoint nodes or
+        ``"binpack"`` to maximize interference.  None keeps the default
+        spreading scheduler (byte-identical to the pre-multi-tenant
+        behaviour).
+    cluster_nodes:
+        Optional ``(x86_nodes, ppc64_nodes)`` pair overriding the default
+        15-node topology — small clusters make cross-tenant contention easy
+        to provoke.  None keeps the paper's 9+6 default.
     """
 
     application: str = "social_network"
@@ -78,10 +160,29 @@ class ScenarioSpec:
     campaign_builder: Optional[Callable[["ExperimentHarness"], Optional[AnomalyCampaign]]] = None
     warmup_s: float = 0.0
     sample_period_s: float = 1.0
+    tenants: Optional[Sequence[TenantSpec]] = None
+    placement: Optional[str] = None
+    cluster_nodes: Optional[Tuple[int, int]] = None
+
+    @property
+    def is_multi_tenant(self) -> bool:
+        """Whether this spec describes a multi-tenant scenario."""
+        return bool(self.tenants)
 
     @property
     def scenario_id(self) -> str:
         """Stable human-readable identity (used to key sweep results)."""
+        if self.tenants:
+            tenant_part = "+".join(
+                f"{tenant.name}:{tenant.application}/{tenant.controller}"
+                f"@{'pattern' if tenant.pattern is not None else f'{tenant.load_rps:g}'}"
+                for tenant in self.tenants
+            )
+            placement_part = f"/placement={self.placement}" if self.placement else ""
+            return (
+                f"multi[{tenant_part}]"
+                f"/seed={self.seed}/duration={self.duration_s:g}{placement_part}"
+            )
         return (
             f"{self.application}/{self.controller}"
             f"/seed={self.seed}/load={self.load_rps:g}/duration={self.duration_s:g}"
@@ -119,7 +220,11 @@ def random_campaign_builder(
 
     Use with :func:`functools.partial` to bind parameters into a spec;
     ``resource_only`` excludes workload-variation anomalies (the §4.1
-    baseline-comparison setting).
+    baseline-comparison setting).  ``harness`` may be either a full
+    :class:`~repro.experiments.harness.ExperimentHarness` or one tenant's
+    :class:`~repro.experiments.harness.TenantRuntime` — both expose the
+    ``.app`` and ``.rng`` this builder needs, so the same builder serves
+    single- and multi-tenant specs.
     """
     anomaly_types = (
         [a for a in ANOMALY_TYPES if a is not AnomalyType.WORKLOAD_VARIATION]

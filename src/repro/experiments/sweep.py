@@ -7,10 +7,12 @@ evaluation in PAPERS.md).  This module makes that experiment shape cheap:
 * :func:`sweep_grid` expands the cross product of applications,
   controllers, seeds, and loads into a list of
   :class:`~repro.experiments.scenario.ScenarioSpec`;
-* :func:`run_sweep` runs any list of specs either serially or fanned out
-  over ``multiprocessing`` workers, returning one
-  :class:`SweepOutcome` per spec **in the input order** regardless of
-  which worker finished first.
+* :func:`tenant_sweep_grid` expands a consolidation grid of multi-tenant
+  specs (N identical co-located tenants x seeds);
+* :func:`run_sweep` runs any list of specs (single- or multi-tenant)
+  either serially or fanned out over ``multiprocessing`` workers,
+  returning one :class:`SweepOutcome` per spec **in the input order**
+  regardless of which worker finished first.
 
 Each spec carries its own master seed, and every stochastic subsystem
 derives named substreams from it, so a scenario's result is a pure
@@ -35,10 +37,16 @@ from repro.experiments.scenario import (
 
 @dataclass
 class SweepOutcome:
-    """Result of one scenario of a sweep: its spec plus headline numbers."""
+    """Result of one scenario of a sweep: its spec plus headline numbers.
+
+    Multi-tenant scenarios additionally carry ``tenant_summaries`` (one
+    headline dict per tenant, in tenant order); single-tenant rows are
+    unchanged.
+    """
 
     spec: ScenarioSpec
     summary: Dict[str, float] = field(default_factory=dict)
+    tenant_summaries: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def scenario_id(self) -> str:
@@ -46,7 +54,7 @@ class SweepOutcome:
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat JSON-friendly row (used by the CLI and reports)."""
-        return {
+        row: Dict[str, Any] = {
             "application": self.spec.application,
             "controller": self.spec.controller,
             "seed": self.spec.seed,
@@ -54,6 +62,17 @@ class SweepOutcome:
             "duration_s": self.spec.duration_s,
             **self.summary,
         }
+        if self.spec.tenants:
+            row["application"] = "+".join(t.application for t in self.spec.tenants)
+            row["controller"] = "+".join(t.controller for t in self.spec.tenants)
+            # Total constant offered load across tenants (pattern-driven
+            # tenants contribute no constant rate and are excluded).
+            row["load_rps"] = sum(
+                t.load_rps for t in self.spec.tenants if t.pattern is None
+            )
+            row["tenant_count"] = len(self.spec.tenants)
+            row["tenants"] = dict(self.tenant_summaries)
+        return row
 
 
 def sweep_grid(
@@ -100,10 +119,62 @@ def sweep_grid(
     return specs
 
 
+def tenant_sweep_grid(
+    tenant_counts: Sequence[int] = (1, 2, 4),
+    application: str = "hotel_reservation",
+    controller: str = "none",
+    seeds: Sequence[int] = (0,),
+    load_rps: float = 25.0,
+    duration_s: float = 30.0,
+    cluster_nodes: Optional[tuple] = (1, 0),
+    placement: Optional[str] = None,
+    node_quota: Optional[int] = None,
+    anomaly_rate_per_s: float = 0.0,
+) -> List[ScenarioSpec]:
+    """Expand a consolidation grid: N identical co-located tenants x seeds.
+
+    Each spec hosts ``n`` identical tenants (same application, load, and
+    controller — the controller runs once *per tenant*, scoped to that
+    tenant's services) on one shared cluster, so sweeping ``tenant_counts``
+    traces how per-tenant SLO statistics degrade as consolidation grows.
+    ``anomaly_rate_per_s`` adds a per-tenant random resource-anomaly
+    campaign, as in :func:`sweep_grid`.
+
+    Note the default topology is a deliberately small single-node cluster
+    (``cluster_nodes=(1, 0)``) so consolidation pressure is visible at few
+    tenants; pass ``cluster_nodes=None`` for the paper's 15-node default
+    when comparing against single-tenant sweeps.
+    """
+    from repro.experiments.interference import identical_tenants
+
+    specs: List[ScenarioSpec] = []
+    for count in tenant_counts:
+        for seed in seeds:
+            specs.append(
+                identical_tenants(
+                    int(count),
+                    application=application,
+                    load_rps=load_rps,
+                    controller=controller,
+                    duration_s=duration_s,
+                    seed=int(seed),
+                    cluster_nodes=cluster_nodes,
+                    placement=placement,
+                    node_quota=node_quota,
+                    anomaly_rate_per_s=anomaly_rate_per_s,
+                )
+            )
+    return specs
+
+
 def _run_one(spec: ScenarioSpec) -> SweepOutcome:
     """Worker entry point: run one spec and return its headline summary."""
     result = run_scenario(spec)
-    return SweepOutcome(spec=spec, summary=result.summary())
+    return SweepOutcome(
+        spec=spec,
+        summary=result.summary(),
+        tenant_summaries=result.per_tenant_summary(),
+    )
 
 
 def run_sweep(

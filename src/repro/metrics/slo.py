@@ -7,12 +7,16 @@ Two trackers support the paper's headline metrics:
 * :class:`MitigationTracker` measures the time from SLO-violation onset to
   recovery (tail latency back under the SLO), giving the mitigation times
   in Fig. 11(b).
+
+Multi-tenant runs keep one :class:`SLOTracker` per tenant (each tenant has
+its own SLO targets); :func:`merge_slo_trackers` folds them into the
+cluster-level view reported by the harness.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.tracing.trace import Trace
 
@@ -97,6 +101,28 @@ class SLOTracker:
             "dropped": float(self.dropped),
             "violation_rate": self.violation_rate,
         }
+
+
+def merge_slo_trackers(trackers: Sequence[SLOTracker]) -> SLOTracker:
+    """Fold per-tenant trackers into one cluster-level tracker.
+
+    Counts are summed and latency samples concatenated in tracker order.
+    The merged ``slo_latency_ms`` keeps each request type's *tightest*
+    target across tenants — purely informational, since every observation
+    has already been classified against its own tenant's targets.
+    """
+    merged_slos: Dict[str, float] = {}
+    for tracker in trackers:
+        for request_type, slo in tracker.slo_latency_ms.items():
+            current = merged_slos.get(request_type)
+            merged_slos[request_type] = slo if current is None else min(current, slo)
+    merged = SLOTracker(merged_slos)
+    for tracker in trackers:
+        merged.completed += tracker.completed
+        merged.violations += tracker.violations
+        merged.dropped += tracker.dropped
+        merged.latencies_ms.extend(tracker.latencies_ms)
+    return merged
 
 
 @dataclass

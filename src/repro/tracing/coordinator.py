@@ -32,6 +32,12 @@ class TracingCoordinator:
         Optional telemetry collector to expose alongside traces.
     store_capacity:
         Bound on the number of retained traces.
+    tenant:
+        Optional tenant identity.  In a multi-tenant harness each tenant
+        gets its own coordinator over the shared engine, so the coordinator
+        only ever sees (and tags) its tenant's traces — SLO accounting,
+        arrival-rate estimation, and the Extractor's queries are therefore
+        per-tenant by construction while telemetry stays shared.
     """
 
     def __init__(
@@ -39,9 +45,11 @@ class TracingCoordinator:
         engine: SimulationEngine,
         telemetry: Optional[TelemetryCollector] = None,
         store_capacity: int = 50_000,
+        tenant: Optional[str] = None,
     ) -> None:
         self.engine = engine
         self.telemetry = telemetry
+        self.tenant = tenant
         self.store = TraceStore(capacity=store_capacity)
         #: SLO latency per request type (ms); registered by the runtime.
         self.slo_latency_ms: Dict[str, float] = {}
@@ -59,8 +67,8 @@ class TracingCoordinator:
         self.slo_latency_ms[request_type] = float(slo_latency_ms)
 
     def begin_trace(self, request_id: str, request_type: str, arrival_time: float) -> Trace:
-        """Create a trace for a newly arrived request."""
-        trace = Trace(request_id, request_type)
+        """Create a trace (tagged with this coordinator's tenant, if any)."""
+        trace = Trace(request_id, request_type, tenant=self.tenant)
         trace.arrival_time = arrival_time
         self.store.add(trace)
         self._arrivals.append((arrival_time, request_type))

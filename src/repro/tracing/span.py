@@ -60,6 +60,8 @@ class Span:
     start_time: float = 0.0
     end_time: float = 0.0
     dropped: bool = False
+    #: Tenant whose request produced this span (None when untenanted).
+    tenant: Optional[str] = None
     tags: Dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------- durations

@@ -27,9 +27,11 @@ class Trace:
         coordinator can group traces per request type for SLO accounting.
     """
 
-    def __init__(self, request_id: str, request_type: str) -> None:
+    def __init__(self, request_id: str, request_type: str, tenant: Optional[str] = None) -> None:
         self.request_id = request_id
         self.request_type = request_type
+        #: Tenant that issued the request (None when untenanted).
+        self.tenant = tenant
         self._spans: Dict[int, Span] = {}
         self._children: Dict[Optional[int], List[int]] = {}
         self.arrival_time: Optional[float] = None

@@ -27,10 +27,15 @@ class TestParser:
             parser.parse_args([])
 
     def test_run_defaults(self):
+        # Omitted flags parse to None; main() resolves them to the
+        # historical defaults (90 s / 50 rps / social_network) for classic
+        # experiments so the interference presets can keep their own.
         parser = build_parser()
         args = parser.parse_args(["run", "table6"])
         assert args.experiment == "table6"
-        assert args.duration == 90.0
+        assert args.duration is None
+        assert args.load is None
+        assert args.application is None
 
 
 class TestExecution:
@@ -47,7 +52,7 @@ class TestExecution:
         assert len(payload) == 7
 
     def test_all_experiments_registered(self):
-        expected = {"fig1", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "table1", "table6", "summary"}
+        expected = {"fig1", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "interference", "table1", "table6", "summary"}
         assert set(EXPERIMENTS) == expected
 
 
