@@ -14,6 +14,12 @@ request, walks the request type's call plan:
 Every span is reported to the Tracing Coordinator as it completes, so the
 execution history graph is available to FIRM's Extractor in near-real time,
 exactly as in the paper's architecture (Fig. 6, modules 1-3).
+
+Replica selection for the entry service and every downstream call goes
+through the cluster's pluggable request router (:mod:`repro.routing`);
+each span is stamped with the routing decision that placed it — policy
+name plus the selected replica's queue depth and in-flight count at
+decision time — so traces expose how the balancer distributed the load.
 """
 
 from __future__ import annotations
@@ -120,7 +126,8 @@ class ApplicationRuntime:
         request_type: RequestType,
         on_complete: Optional[Callable[[Trace], None]],
     ) -> None:
-        entry_instance = self.cluster.pick_replica(request_type.entry_service)
+        decision = self.cluster.route(request_type.entry_service)
+        entry_instance = decision.instance
         enqueue_time = self.engine.now
 
         def _entry_done(entry_span: Span) -> None:
@@ -141,6 +148,7 @@ class ApplicationRuntime:
                 enqueue_time=eq,
                 start_time=st,
                 tenant=self.tenant,
+                tags=decision.span_tags(),
             )
 
             def _children_done() -> None:
@@ -222,7 +230,8 @@ class ApplicationRuntime:
     ) -> None:
         """Execute one RPC: run the callee's compute, then its own children."""
         try:
-            instance = self.cluster.pick_replica(call.callee)
+            decision = self.cluster.route(call.callee)
+            instance = decision.instance
         except KeyError:
             # Service not deployed (should not happen for validated graphs);
             # treat the call as instantly failed so the request can proceed.
@@ -246,6 +255,7 @@ class ApplicationRuntime:
                 enqueue_time=eq,
                 start_time=st,
                 tenant=self.tenant,
+                tags=decision.span_tags(),
             )
 
             def _children_done() -> None:
@@ -272,6 +282,7 @@ class ApplicationRuntime:
                 end_time=self.engine.now,
                 dropped=True,
                 tenant=self.tenant,
+                tags=decision.span_tags(),
             )
             self.coordinator.record_span(trace, span)
             if not trace.dropped:

@@ -6,11 +6,14 @@ Usage::
     python -m repro.cli run fig1 --out results/fig1.json
     python -m repro.cli run table6
     python -m repro.cli run interference --preset aggressor_victim
+    python -m repro.cli run routing --preset interference --policies jiq,p2c
     python -m repro.cli compare --application social_network --duration 120
     python -m repro.cli sweep --application social_network \
         --seeds 0,1,2 --controllers firm,aimd --workers 2
     python -m repro.cli sweep --tenants 1,2,4 --application hotel_reservation \
         --controllers aimd --duration 30
+    python -m repro.cli sweep --routing least_in_flight,p2c,jiq \
+        --controllers none,aimd --tenants 1,2
 
 The CLI is a thin wrapper over :mod:`repro.experiments`; every experiment
 is also importable and runnable programmatically (see the examples/
@@ -134,6 +137,32 @@ def _run_interference(args: argparse.Namespace):
     return run_interference(preset=preset, **kwargs).as_dict()
 
 
+def _run_routing_experiment(args: argparse.Namespace):
+    """Compare routing policies; omitted flags keep the preset defaults."""
+    from repro.experiments.routing import DEFAULT_POLICIES, run_routing
+
+    preset = getattr(args, "preset", None) or "interference"
+    policies = (
+        _csv_list(args.policies)
+        if getattr(args, "policies", None)
+        else DEFAULT_POLICIES
+    )
+    kwargs: Dict[str, Any] = {"seed": getattr(args, "seed", 0)}
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    if preset == "anomaly":
+        if args.load is not None:
+            kwargs["load_rps"] = args.load
+        if args.application is not None:
+            kwargs["application"] = args.application
+    else:
+        if args.load is not None:
+            kwargs["victim_load_rps"] = args.load
+        if args.application is not None:
+            kwargs["victim_application"] = args.application
+    return run_routing(preset=preset, policies=policies, **kwargs).as_dict()
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig1": _run_fig1,
     "fig3": _run_fig3,
@@ -143,6 +172,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig10": _run_fig10,
     "fig11": _run_fig11,
     "interference": _run_interference,
+    "routing": _run_routing_experiment,
     "table1": _run_table1,
     "table6": _run_table6,
     "summary": _run_summary,
@@ -170,11 +200,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--preset", default=None,
-        help="interference preset (aggressor_victim, noisy_neighbor_ramp, identical_tenants)",
+        help="interference preset (aggressor_victim, noisy_neighbor_ramp, "
+        "identical_tenants) or routing preset (anomaly, interference)",
     )
     run_parser.add_argument(
         "--tenants", type=int, default=None,
         help="tenant count for the identical_tenants interference preset",
+    )
+    run_parser.add_argument(
+        "--policies", default=None,
+        help="comma-separated routing policies for the routing experiment "
+        "(default: all registered policies)",
     )
     run_parser.add_argument("--out", default=None, help="write the JSON result to this path")
 
@@ -209,8 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker processes (1 = serial)"
     )
     sweep_parser.add_argument(
-        "--anomaly-rate", type=float, default=0.0,
-        help="random anomaly arrivals per second (0 disables injection)",
+        "--anomaly-rate", type=float, default=None,
+        help="random anomaly arrivals per second (0 disables injection; "
+        "omitted keeps each grid's own default — 0 for plain/tenant "
+        "sweeps, 0.25 for routing sweeps, where anomalies create the "
+        "replica-speed asymmetry that separates policies)",
     )
     sweep_parser.add_argument(
         "--tenants", default=None,
@@ -222,6 +261,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--placement", default=None,
         help="scheduler placement policy "
         "(spread, binpack, random, anti_affinity, tenant_anti_affinity)",
+    )
+    sweep_parser.add_argument(
+        "--routing", default=None,
+        help="comma-separated load-balancing policies; crosses the grid "
+        "with routing regimes (least_in_flight, round_robin, random, "
+        "power_of_two_choices, ewma_latency, join_the_idle_queue)",
     )
     sweep_parser.add_argument("--out", default=None, help="write the JSON result to this path")
     return parser
@@ -236,15 +281,50 @@ def _run_sweep(args: argparse.Namespace):
     from repro.baselines.base import resolve_controller_name
     from repro.cluster.scheduler import PlacementPolicy
     from repro.experiments.scenario import ScenarioSpec
-    from repro.experiments.sweep import run_sweep, sweep_grid, tenant_sweep_grid
+    from repro.experiments.sweep import (
+        routing_sweep_grid,
+        run_sweep,
+        sweep_grid,
+        tenant_sweep_grid,
+    )
+    from repro.routing.base import resolve_policy_name
 
     # Fail fast on typos before any scenario of the grid runs.
     for controller in _csv_list(args.controllers):
         resolve_controller_name(controller)
+    routing_policies = (
+        [resolve_policy_name(p) for p in _csv_list(args.routing)]
+        if getattr(args, "routing", None)
+        else None
+    )
     if args.placement is not None:
         PlacementPolicy(args.placement)
 
-    if getattr(args, "tenants", None):
+    if routing_policies is not None:
+        # Routing sweep: policies x controllers x tenant counts (tenant
+        # count 1 is the single-tenant consolidation shape).  An omitted
+        # --anomaly-rate keeps the grid's own default (0.25), which
+        # provides the replica-speed asymmetry policies separate under.
+        grid_kwargs: Dict[str, Any] = {}
+        if args.anomaly_rate is not None:
+            grid_kwargs["anomaly_rate_per_s"] = args.anomaly_rate
+        specs = []
+        for application in _csv_list(args.application):
+            for load in _csv_list(args.loads, float):
+                specs.extend(
+                    routing_sweep_grid(
+                        policies=routing_policies,
+                        controllers=_csv_list(args.controllers),
+                        tenant_counts=_csv_list(args.tenants or "1", int),
+                        application=application,
+                        seeds=_csv_list(args.seeds, int),
+                        load_rps=load,
+                        duration_s=args.duration,
+                        placement=args.placement,
+                        **grid_kwargs,
+                    )
+                )
+    elif getattr(args, "tenants", None):
         # Multi-tenant consolidation sweep: N identical co-located tenants.
         specs = []
         for application in _csv_list(args.application):
@@ -259,7 +339,7 @@ def _run_sweep(args: argparse.Namespace):
                             load_rps=load,
                             duration_s=args.duration,
                             placement=args.placement,
-                            anomaly_rate_per_s=args.anomaly_rate,
+                            anomaly_rate_per_s=args.anomaly_rate or 0.0,
                         )
                     )
     else:
@@ -269,7 +349,7 @@ def _run_sweep(args: argparse.Namespace):
             seeds=_csv_list(args.seeds, int),
             loads_rps=_csv_list(args.loads, float),
             duration_s=args.duration,
-            anomaly_rate_per_s=args.anomaly_rate,
+            anomaly_rate_per_s=args.anomaly_rate or 0.0,
             base=ScenarioSpec(placement=args.placement) if args.placement else None,
         )
 
@@ -303,9 +383,10 @@ def main(argv=None) -> int:
     elif args.command == "sweep":
         payload = _run_sweep(args)
     else:
-        if args.experiment != "interference":
+        if args.experiment not in ("interference", "routing"):
             # Classic experiments get the historical defaults; interference
-            # resolves omitted flags against its presets' own defaults.
+            # and routing resolve omitted flags against their presets' own
+            # defaults.
             if args.duration is None:
                 args.duration = 90.0
             if args.load is None:

@@ -11,6 +11,13 @@ and per-tenant aggregate queries sit next to the cluster-wide ones.
 :class:`TenantClusterView` narrows the cluster API to one tenant so that
 per-tenant controllers and orchestrators operate on their own services
 while contention still flows through the shared nodes.
+
+Request routing is delegated to a pluggable
+:class:`~repro.routing.router.RequestRouter`: :meth:`Cluster.route` (and
+the legacy :meth:`Cluster.pick_replica`) resolve each service to a
+registered load-balancing policy — per-service override, then tenant
+default, then the cluster default ``least_in_flight`` — so experiments
+can swap balancers without touching the cluster or the runtimes.
 """
 
 from __future__ import annotations
@@ -38,6 +45,9 @@ class Cluster:
     node_specs:
         Hardware description of each node.  Defaults to a 15-node cluster
         matching the paper's scale (9 x86 nodes + 6 ppc64 nodes).
+    routing:
+        Default load-balancing policy name (see :mod:`repro.routing`);
+        None keeps ``least_in_flight``, the pre-subsystem behaviour.
     """
 
     def __init__(
@@ -46,6 +56,7 @@ class Cluster:
         rng: SeededRNG,
         node_specs: Optional[List[NodeSpec]] = None,
         scheduler: Optional["Scheduler"] = None,  # noqa: F821 - forward reference
+        routing: Optional[str] = None,
     ) -> None:
         self.engine = engine
         self.rng = rng
@@ -61,6 +72,11 @@ class Cluster:
 
             scheduler = Scheduler(rng=rng)
         self.scheduler = scheduler
+        from repro.routing.base import DEFAULT_POLICY
+        from repro.routing.router import RequestRouter
+
+        #: Pluggable request router (policy resolution + decision audit).
+        self.router = RequestRouter(self, default_policy=routing or DEFAULT_POLICY)
 
     # ------------------------------------------------------------- topology
     @staticmethod
@@ -135,6 +151,7 @@ class Cluster:
             profile, container, self.engine, self.rng, replica_index=replica_index
         )
         self._replicas[profile.name].append(instance)
+        self.router.instrument(instance)
         return instance
 
     def _pick_node(self, limits: Optional[ResourceLimits]) -> Node:
@@ -189,11 +206,40 @@ class Cluster:
         raise KeyError(f"no instance named {instance_name!r}")
 
     def pick_replica(self, service_name: str) -> MicroserviceInstance:
-        """Load-balance: choose the replica with the fewest in-flight spans."""
-        replicas = self._replicas.get(service_name, [])
-        if not replicas:
-            raise KeyError(f"service {service_name!r} is not deployed")
-        return min(replicas, key=lambda instance: instance.in_flight)
+        """Load-balance: choose a replica through the configured policy.
+
+        The default policy is ``least_in_flight`` (fewest in-flight spans,
+        ties broken by lowest replica index); see :meth:`set_routing_policy`
+        for swapping it per cluster, tenant, or service.
+        """
+        return self.route(service_name).instance
+
+    def route(self, service_name: str) -> "RoutingDecision":  # noqa: F821
+        """Pick a replica and return the full routing decision (for tags)."""
+        return self.router.route(service_name)
+
+    def set_routing_policy(
+        self,
+        name: str,
+        service: Optional[str] = None,
+        tenant: Optional[str] = None,
+        **kwargs,
+    ) -> None:
+        """Configure the load-balancing policy at some scope.
+
+        With ``service`` given, pins that one service; with ``tenant``
+        given, sets the default for every service the tenant owns; with
+        neither, sets the cluster-wide default.  ``kwargs`` are forwarded
+        to the policy factory (e.g. ``alpha=0.2`` for ``ewma_latency``).
+        """
+        if service is not None and tenant is not None:
+            raise ValueError("pass at most one of service/tenant")
+        if service is not None:
+            self.router.set_service_policy(service, name, **kwargs)
+        elif tenant is not None:
+            self.router.set_tenant_policy(tenant, name, **kwargs)
+        else:
+            self.router.set_default_policy(name, **kwargs)
 
     def total_requested_cpu(self, tenant: Optional[str] = None) -> float:
         """Sum of CPU limits across containers (Fig. 10(b)'s metric).
@@ -307,6 +353,35 @@ class TenantClusterView:
         if not self._owns(service_name):
             raise KeyError(f"service {service_name!r} is not owned by tenant {self.tenant!r}")
         return self.cluster.pick_replica(service_name)
+
+    def route(self, service_name: str) -> "RoutingDecision":  # noqa: F821
+        """Route within the tenant's own replicas (ownership enforced)."""
+        if not self._owns(service_name):
+            raise KeyError(f"service {service_name!r} is not owned by tenant {self.tenant!r}")
+        return self.cluster.route(service_name)
+
+    @property
+    def router(self):
+        """The shared cluster's request router."""
+        return self.cluster.router
+
+    def set_routing_policy(
+        self, name: str, service: Optional[str] = None, **kwargs
+    ) -> None:
+        """Configure routing for this tenant (or one of its services).
+
+        Without ``service``, sets the tenant-wide default; per-tenant
+        policies coexist on one shared cluster because policy resolution
+        is per (tenant-namespaced) service.
+        """
+        if service is not None:
+            if not self._owns(service):
+                raise KeyError(
+                    f"service {service!r} is not owned by tenant {self.tenant!r}"
+                )
+            self.cluster.set_routing_policy(name, service=service, **kwargs)
+        else:
+            self.cluster.set_routing_policy(name, tenant=self.tenant, **kwargs)
 
     def total_requested_cpu(self) -> float:
         return self.cluster.total_requested_cpu(tenant=self.tenant)

@@ -132,6 +132,11 @@ class MicroserviceInstance:
         self.recent_latencies_ms: List[float] = []
         #: Maximum queue length before requests are dropped (load shedding).
         self.max_queue_length = 512
+        #: Observers invoked as ``listener(instance, latency_ms)`` after each
+        #: span completes (state already updated, so ``in_flight`` reflects
+        #: the post-completion load).  Routing policies use these to maintain
+        #: idle queues (JIQ) and per-replica latency EWMAs.
+        self.completion_listeners: List[Callable[["MicroserviceInstance", float], None]] = []
 
     # --------------------------------------------------------------- metrics
     @property
@@ -231,6 +236,8 @@ class MicroserviceInstance:
             del self.recent_latencies_ms[: len(self.recent_latencies_ms) - 4096]
         work.on_complete(work.enqueue_time, work.start_time or work.enqueue_time, finish_time)
         self._try_dispatch()
+        for listener in list(self.completion_listeners):
+            listener(self, latency_ms)
 
     def drain_latency_window(self) -> List[float]:
         """Return and clear the recent span latencies (ms)."""

@@ -40,6 +40,10 @@ class TelemetrySample:
         Hosting node name.
     queue_length:
         Instance queue length at sample time.
+    in_flight:
+        Queued + in-service spans at sample time — the load signal the
+        routing layer balances on, sampled per replica so routing
+        experiments can audit how evenly a policy spread the work.
     tenant:
         Tenant owning the sampled container (None when untenanted), so
         per-tenant extractors can filter a shared telemetry stream.
@@ -53,11 +57,16 @@ class TelemetrySample:
     limits: ResourceVector
     node: Optional[str] = None
     queue_length: int = 0
+    in_flight: int = 0
     tenant: Optional[str] = None
 
     def as_row(self) -> Dict[str, float]:
         """Flatten to a plain dict (telemetry export format)."""
-        row: Dict[str, float] = {"time": self.time, "queue_length": float(self.queue_length)}
+        row: Dict[str, float] = {
+            "time": self.time,
+            "queue_length": float(self.queue_length),
+            "in_flight": float(self.in_flight),
+        }
         for resource in RESOURCE_TYPES:
             row[f"usage_{resource.value}"] = self.usage[resource]
             row[f"utilization_{resource.value}"] = self.utilization[resource]
@@ -128,6 +137,7 @@ class TelemetryCollector:
             limits=container.limits.copy(),
             node=container.node.name if container.node is not None else None,
             queue_length=instance.queue_length if instance is not None else 0,
+            in_flight=instance.in_flight if instance is not None else 0,
             tenant=container.tenant,
         )
         self._samples[container.id].append(sample)

@@ -267,6 +267,8 @@ class ExperimentHarness:
             raise ValueError(f"tenant {name!r} is already deployed")
         if tenant_spec.node_quota is not None:
             self.cluster.scheduler.node_quotas[name] = int(tenant_spec.node_quota)
+        if tenant_spec.routing is not None:
+            self.cluster.set_routing_policy(tenant_spec.routing, tenant=name)
 
         app = build_application(tenant_spec.application).namespaced(name)
         tenant_rng = self.rng.spawn(f"tenant:{name}")
@@ -288,6 +290,10 @@ class ExperimentHarness:
         self.tenants.append(tenant)
 
         runtime.deploy()
+        if tenant_spec.replicas:
+            self._apply_replica_overrides(
+                view, {f"{name}/{svc}": n for svc, n in tenant_spec.replicas.items()}
+            )
         self._apply_slo_targets(tenant, tenant_spec)
         self._attach_workload(
             tenant,
@@ -304,6 +310,26 @@ class ExperimentHarness:
             tenant, tenant_spec.controller, **tenant_spec.controller_kwargs
         )
         return tenant
+
+    @staticmethod
+    def _apply_replica_overrides(view, replicas: Dict[str, int]) -> None:
+        """Top deployed services up to the requested replica counts.
+
+        ``view`` is the cluster (single-tenant) or a tenant's cluster view
+        (service names already namespaced); counts below the deployed
+        replica count are left alone — the override only ever adds
+        replicas, it never scales a service in.
+        """
+        for service_name, target in replicas.items():
+            current = len(view.replicas_of(service_name))
+            if current == 0:
+                raise ValueError(
+                    f"replica override for unknown service {service_name!r}"
+                )
+            if int(target) > current:
+                view.deploy_service(
+                    view.profile_of(service_name), replicas=int(target) - current
+                )
 
     @staticmethod
     def _apply_slo_targets(tenant: TenantRuntime, tenant_spec: TenantSpec) -> None:
@@ -424,12 +450,13 @@ class ExperimentHarness:
     def from_spec(cls, spec: ScenarioSpec) -> "ExperimentHarness":
         """Build the fully wired harness described by ``spec``.
 
-        Single-tenant specs wire, in order: application + cluster, workload
-        (explicit pattern or constant ``load_rps``), anomaly campaign
-        (pre-built or realized through ``spec.campaign_builder``), and the
-        controller looked up in the registry.  The realized campaign is
-        kept on ``harness.campaign`` for experiments that need its schedule
-        (e.g. its end time).
+        Single-tenant specs wire, in order: application + cluster, routing
+        policy (``spec.routing``, resolved in the routing registry),
+        workload (explicit pattern or constant ``load_rps``), anomaly
+        campaign (pre-built or realized through ``spec.campaign_builder``),
+        and the controller looked up in the registry.  The realized
+        campaign is kept on ``harness.campaign`` for experiments that need
+        its schedule (e.g. its end time).
 
         Multi-tenant specs (``spec.tenants``) deploy every tenant in order
         onto one shared cluster; each tenant gets the same treatment with
@@ -445,6 +472,10 @@ class ExperimentHarness:
             node_specs=cls._node_specs_from_spec(spec),
         )
         harness.spec = spec
+        if spec.routing is not None:
+            harness.cluster.set_routing_policy(spec.routing)
+        if spec.replicas:
+            cls._apply_replica_overrides(harness.cluster, spec.replicas)
         if spec.pattern is not None:
             harness.attach_workload(pattern=spec.pattern, request_mix=spec.request_mix)
         else:
@@ -469,6 +500,8 @@ class ExperimentHarness:
             node_specs=cls._node_specs_from_spec(spec),
         )
         harness.spec = spec
+        if spec.routing is not None:
+            harness.cluster.set_routing_policy(spec.routing)
         for tenant_spec in spec.tenants:
             harness.add_tenant(tenant_spec)
         harness.telemetry.start()

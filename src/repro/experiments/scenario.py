@@ -71,6 +71,17 @@ class TenantSpec:
         Optional cap on how many distinct nodes this tenant's containers
         may occupy (enforced by the scheduler for deployments and
         scale-outs alike).
+    routing:
+        Optional load-balancing policy (registry name, see
+        :mod:`repro.routing`) applied to every service this tenant owns;
+        tenants of one shared cluster may each run a different policy.
+        None inherits the scenario's cluster-wide ``routing`` (and, when
+        that is unset too, the default ``least_in_flight``).
+    replicas:
+        Optional per-service initial replica overrides (by the tenant's
+        un-namespaced service name).  Services are topped up to the given
+        count right after deployment — the knob routing studies need,
+        since policies only differ where a replica set offers a choice.
     """
 
     name: str
@@ -85,6 +96,8 @@ class TenantSpec:
     slo_scale: float = 1.0
     slo_latency_ms: Optional[Dict[str, float]] = None
     node_quota: Optional[int] = None
+    routing: Optional[str] = None
+    replicas: Optional[Dict[str, int]] = None
 
     def with_overrides(self, **overrides) -> "TenantSpec":
         """A copy of this tenant spec with the given fields replaced."""
@@ -146,6 +159,18 @@ class ScenarioSpec:
         Optional ``(x86_nodes, ppc64_nodes)`` pair overriding the default
         15-node topology — small clusters make cross-tenant contention easy
         to provoke.  None keeps the paper's 9+6 default.
+    routing:
+        Optional cluster-wide load-balancing policy (registry name, see
+        :mod:`repro.routing`): how the runtimes pick which replica serves
+        each span.  Applies to every service of every tenant unless a
+        tenant overrides it; None keeps the default ``least_in_flight``
+        (byte-identical to the pre-routing-subsystem behaviour).
+    replicas:
+        Optional per-service initial replica overrides for single-tenant
+        scenarios (service name -> replica count); services are topped up
+        right after deployment, so load-balancing policies have a replica
+        set to choose over from the first request.  Multi-tenant scenarios
+        use the per-tenant field instead.
     """
 
     application: str = "social_network"
@@ -163,6 +188,8 @@ class ScenarioSpec:
     tenants: Optional[Sequence[TenantSpec]] = None
     placement: Optional[str] = None
     cluster_nodes: Optional[Tuple[int, int]] = None
+    routing: Optional[str] = None
+    replicas: Optional[Dict[str, int]] = None
 
     @property
     def is_multi_tenant(self) -> bool:
@@ -172,20 +199,24 @@ class ScenarioSpec:
     @property
     def scenario_id(self) -> str:
         """Stable human-readable identity (used to key sweep results)."""
+        routing_part = f"/routing={self.routing}" if self.routing else ""
         if self.tenants:
             tenant_part = "+".join(
                 f"{tenant.name}:{tenant.application}/{tenant.controller}"
-                f"@{'pattern' if tenant.pattern is not None else f'{tenant.load_rps:g}'}"
+                + (f"/{tenant.routing}" if tenant.routing else "")
+                + f"@{'pattern' if tenant.pattern is not None else f'{tenant.load_rps:g}'}"
                 for tenant in self.tenants
             )
             placement_part = f"/placement={self.placement}" if self.placement else ""
             return (
                 f"multi[{tenant_part}]"
-                f"/seed={self.seed}/duration={self.duration_s:g}{placement_part}"
+                f"/seed={self.seed}/duration={self.duration_s:g}"
+                f"{placement_part}{routing_part}"
             )
         return (
             f"{self.application}/{self.controller}"
             f"/seed={self.seed}/load={self.load_rps:g}/duration={self.duration_s:g}"
+            f"{routing_part}"
         )
 
     def with_overrides(self, **overrides) -> "ScenarioSpec":

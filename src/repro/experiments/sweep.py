@@ -9,6 +9,9 @@ evaluation in PAPERS.md).  This module makes that experiment shape cheap:
   :class:`~repro.experiments.scenario.ScenarioSpec`;
 * :func:`tenant_sweep_grid` expands a consolidation grid of multi-tenant
   specs (N identical co-located tenants x seeds);
+* :func:`routing_sweep_grid` crosses load-balancing policies x controllers
+  x tenant counts, so routing regimes are evaluated against every scaling
+  policy instead of only the default balancer;
 * :func:`run_sweep` runs any list of specs (single- or multi-tenant)
   either serially or fanned out over ``multiprocessing`` workers,
   returning one :class:`SweepOutcome` per spec **in the input order**
@@ -62,6 +65,8 @@ class SweepOutcome:
             "duration_s": self.spec.duration_s,
             **self.summary,
         }
+        if self.spec.routing:
+            row["routing"] = self.spec.routing
         if self.spec.tenants:
             row["application"] = "+".join(t.application for t in self.spec.tenants)
             row["controller"] = "+".join(t.controller for t in self.spec.tenants)
@@ -164,6 +169,79 @@ def tenant_sweep_grid(
                     anomaly_rate_per_s=anomaly_rate_per_s,
                 )
             )
+    return specs
+
+
+def routing_sweep_grid(
+    policies: Sequence[str] = (
+        "least_in_flight",
+        "round_robin",
+        "power_of_two_choices",
+        "join_the_idle_queue",
+    ),
+    controllers: Sequence[str] = ("none", "aimd"),
+    tenant_counts: Sequence[int] = (1, 2),
+    application: str = "hotel_reservation",
+    seeds: Sequence[int] = (0,),
+    load_rps: float = 25.0,
+    duration_s: float = 30.0,
+    cluster_nodes: Optional[tuple] = (3, 0),
+    placement: Optional[str] = None,
+    anomaly_rate_per_s: float = 0.25,
+    replicas_per_service: int = 3,
+) -> List[ScenarioSpec]:
+    """Expand a routing grid: policies x controllers x tenant counts x seeds.
+
+    Every scenario is the :func:`~repro.experiments.interference.identical_tenants`
+    consolidation shape with the spec-level ``routing`` field set, so each
+    load-balancing policy is evaluated under every scaling policy and
+    consolidation level (policy-major order: all scenarios of one policy
+    are adjacent, mirroring :func:`sweep_grid`'s controller-major order).
+
+    By default every tenant's services are replicated
+    (``replicas_per_service``) over a small multi-node cluster and hit by
+    per-tenant resource anomalies, so replicas of one service run at
+    different speeds and the routing policy has real choices to make —
+    the regime where policies separate (see :mod:`repro.experiments.routing`).
+    Routing draws come from dedicated RNG substreams, so scenarios of
+    different policies still share identical arrivals, service times, and
+    campaigns — and the parallel sweep stays bit-identical to the serial
+    one.
+    """
+    from repro.experiments.interference import identical_tenants
+    from repro.experiments.routing import replicated_services
+    from repro.routing.base import resolve_policy_name
+
+    replicas = (
+        replicated_services(application, replicas_per_service)
+        if replicas_per_service > 1
+        else None
+    )
+    specs: List[ScenarioSpec] = []
+    for policy in policies:
+        canonical = resolve_policy_name(policy)
+        for controller in controllers:
+            for count in tenant_counts:
+                for seed in seeds:
+                    spec = identical_tenants(
+                        int(count),
+                        application=application,
+                        load_rps=load_rps,
+                        controller=controller,
+                        duration_s=duration_s,
+                        seed=int(seed),
+                        cluster_nodes=cluster_nodes,
+                        placement=placement,
+                        anomaly_rate_per_s=anomaly_rate_per_s,
+                    )
+                    if replicas:
+                        spec = spec.with_overrides(
+                            tenants=[
+                                tenant.with_overrides(replicas=dict(replicas))
+                                for tenant in spec.tenants
+                            ]
+                        )
+                    specs.append(spec.with_overrides(routing=canonical))
     return specs
 
 

@@ -105,6 +105,25 @@ class TestLoadBalancing:
         instances[0].submit("r2", "cpu-service", lambda *a: None)
         assert cluster.pick_replica("cpu-service") is instances[1]
 
+    def test_pick_replica_breaks_ties_by_lowest_replica_index(self, cluster, cpu_profile):
+        """Equal in-flight counts must resolve by replica index, not by the
+        replica list's internal ordering (which depends on deploy history)."""
+        instances = cluster.deploy_service(cpu_profile, replicas=3)
+        # Perturb the bookkeeping order: the tie-break must not follow it.
+        cluster._replicas["cpu-service"].reverse()
+        assert cluster.pick_replica("cpu-service") is instances[0]
+        instances[0].submit("r1", "cpu-service", lambda *a: None)
+        assert cluster.pick_replica("cpu-service") is instances[1]
+
+    def test_route_returns_decision_with_load_snapshot(self, cluster, cpu_profile):
+        instances = cluster.deploy_service(cpu_profile, replicas=2)
+        instances[0].submit("r1", "cpu-service", lambda *a: None)
+        decision = cluster.route("cpu-service")
+        assert decision.instance is instances[1]
+        assert decision.policy == "least_in_flight"
+        assert decision.in_flight == 0
+        assert decision.span_tags()["routing.policy"] == "least_in_flight"
+
 
 class TestAggregateMetrics:
     def test_total_requested_cpu(self, cluster, cpu_profile):
