@@ -10,7 +10,6 @@ pytest-benchmark's ``pedantic`` mode with a single round because each
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
 import pytest

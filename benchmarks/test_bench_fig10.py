@@ -41,9 +41,9 @@ def test_bench_fig10_end_to_end(benchmark, results_dir):
     print(f"FIRM vs K8s : {improvements_k8s['violation_factor']:.1f}x fewer violations, "
           f"{improvements_k8s['p99_factor']:.1f}x lower p99, "
           f"{improvements_k8s['requested_cpu_reduction'] * 100:.1f}% less requested CPU "
-          f"(paper: up to 16.7x, 11.5x, 62.3%)")
+          "(paper: up to 16.7x, 11.5x, 62.3%)")
     print(f"FIRM vs AIMD: {improvements_aimd['violation_factor']:.1f}x fewer violations "
-          f"(paper: up to 9.8x)")
+          "(paper: up to 9.8x)")
     payload["improvement_vs_k8s"] = improvements_k8s
     payload["improvement_vs_aimd"] = improvements_aimd
     save_result(results_dir, "fig10", payload)

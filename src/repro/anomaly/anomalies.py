@@ -11,7 +11,7 @@ inflation / added delay).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.cluster.resources import Resource, ResourceVector

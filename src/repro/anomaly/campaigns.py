@@ -17,7 +17,7 @@ injections into the schedules used by the evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.anomaly.anomalies import ANOMALY_TYPES, AnomalySpec, AnomalyType
 from repro.sim.rng import SeededRNG

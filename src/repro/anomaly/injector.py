@@ -13,10 +13,10 @@ truth for localization accuracy (Fig. 9) and for RL training labels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
-from repro.anomaly.anomalies import ANOMALY_RESOURCE, AnomalySpec, AnomalyType
+from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector

@@ -25,11 +25,10 @@ decision time — so traces expose how the balancer distributed the load.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.apps.graph import CallEdge, CallPattern, RequestType, ServiceGraph
 from repro.cluster.cluster import Cluster
-from repro.cluster.instance import MicroserviceInstance
 from repro.cluster.resources import ResourceLimits
 from repro.sim.engine import SimulationEngine
 from repro.tracing.coordinator import TracingCoordinator
@@ -128,7 +127,6 @@ class ApplicationRuntime:
     ) -> None:
         decision = self.cluster.route(request_type.entry_service)
         entry_instance = decision.instance
-        enqueue_time = self.engine.now
 
         def _entry_done(entry_span: Span) -> None:
             self.coordinator.complete_trace(trace, self.engine.now)

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.baselines.base import BaselineController, register_controller
-from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
+from repro.cluster.resources import RESOURCE_TYPES, ResourceVector
 
 
 @dataclass

@@ -193,6 +193,16 @@ class Cluster:
         """All replicas of a service (empty list if not deployed)."""
         return list(self._replicas.get(service_name, []))
 
+    def live_replicas(self, service_name: str) -> Optional[List[MicroserviceInstance]]:
+        """The *internal* replica list, for the per-span routing hot path.
+
+        Unlike :meth:`replicas_of` this does not copy: the returned list
+        is the cluster's own bookkeeping and mutates on scale events.
+        Callers must treat it as read-only and must not retain it across
+        events.  Returns None when the service was never deployed.
+        """
+        return self._replicas.get(service_name)
+
     def profile_of(self, service_name: str) -> ServiceProfile:
         """The registered profile of a deployed service."""
         return self._profiles[service_name]

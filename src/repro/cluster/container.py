@@ -5,6 +5,11 @@ A container is the unit of resource control: it has per-resource limits
 (``RU``).  Its instantaneous resource *demand* is driven by the
 microservice instance it hosts (how many requests are in service and what
 each request consumes).
+
+Demand, throttle, and contention factors are recomputed for every span a
+replica dispatches, so this module is a simulation hot path: the class is
+slotted and the per-resource loops work on plain dicts instead of going
+through :class:`~repro.cluster.resources.ResourceVector` arithmetic.
 """
 
 from __future__ import annotations
@@ -44,6 +49,18 @@ class Container:
         placement and per-tenant telemetry/accounting.
     """
 
+    __slots__ = (
+        "id",
+        "service_name",
+        "tenant",
+        "limits",
+        "threads",
+        "node",
+        "instance",
+        "_started_cold",
+        "partition_enforced",
+    )
+
     def __init__(
         self,
         service_name: str,
@@ -69,7 +86,7 @@ class Container:
     # ------------------------------------------------------------- limits
     def effective_cpu_limit(self) -> float:
         """CPU limit capped by the thread count (paper §3.4 footnote)."""
-        return min(self.limits[Resource.CPU], float(self.threads))
+        return min(self.limits.values[Resource.CPU], float(self.threads))
 
     def set_limit(self, resource: Resource, value: float) -> None:
         """Set one resource limit, clamped to be non-negative."""
@@ -81,49 +98,66 @@ class Container:
             self.set_limit(resource, limits[resource])
 
     # ------------------------------------------------------------- demand
-    def current_demand(self) -> ResourceVector:
-        """Instantaneous demand, bounded by the container's own limits.
+    def _capped_demand_values(self) -> Dict[Resource, float]:
+        """Instantaneous demand as a plain dict (internal hot path).
 
         Demand originates from the hosted instance (requests in service and
         queued work); the cgroups-style limit caps how much of the node each
         container can actually pull.
         """
-        if self.instance is None:
-            return ResourceVector()
-        raw = self.instance.resource_demand()
+        instance = self.instance
+        if instance is None:
+            return {resource: 0.0 for resource in RESOURCE_TYPES}
+        raw = instance.resource_demand().values
+        limit_values = self.limits.values
         capped: Dict[Resource, float] = {}
         for resource in RESOURCE_TYPES:
             limit = (
                 self.effective_cpu_limit()
                 if resource is Resource.CPU
-                else self.limits[resource]
+                else limit_values[resource]
             )
-            capped[resource] = min(raw[resource], limit) if limit > 0 else 0.0
-        return ResourceVector(capped)
+            want = raw[resource]
+            capped[resource] = (want if want < limit else limit) if limit > 0 else 0.0
+        return capped
+
+    def current_demand(self) -> ResourceVector:
+        """Instantaneous demand, bounded by the container's own limits."""
+        return ResourceVector._from_normalized(self._capped_demand_values())
 
     def usage(self) -> ResourceUsage:
         """Usage sample exported to telemetry (same shape as demand)."""
-        return ResourceUsage(dict(self.current_demand().values))
+        return ResourceUsage._from_normalized(self._capped_demand_values())
 
-    def utilization(self) -> ResourceVector:
-        """Usage divided by limit for each resource (RU/RLT in the paper)."""
-        usage = self.current_demand()
-        result: Dict[Resource, float] = {}
+    def demand_and_utilization(self) -> "tuple[Dict[Resource, float], Dict[Resource, float]]":
+        """Capped demand and RU/RLT utilization from one demand pass.
+
+        The single place that owns the effective-limit special case for
+        utilization; telemetry sampling uses it so usage and utilization
+        are derived from the same instant without recomputing demand.
+        """
+        demand = self._capped_demand_values()
+        limit_values = self.limits.values
+        utilization: Dict[Resource, float] = {}
         for resource in RESOURCE_TYPES:
             limit = (
                 self.effective_cpu_limit()
                 if resource is Resource.CPU
-                else self.limits[resource]
+                else limit_values[resource]
             )
-            result[resource] = usage[resource] / limit if limit > 0 else 0.0
-        return ResourceVector(result)
+            utilization[resource] = demand[resource] / limit if limit > 0 else 0.0
+        return demand, utilization
+
+    def utilization(self) -> ResourceVector:
+        """Usage divided by limit for each resource (RU/RLT in the paper)."""
+        return ResourceVector._from_normalized(self.demand_and_utilization()[1])
 
     # ---------------------------------------------------------- throttling
     def _limit_for(self, resource: Resource) -> float:
         """Effective cap for one resource (CPU is additionally thread-capped)."""
         if resource is Resource.CPU:
             return self.effective_cpu_limit()
-        return self.limits[resource]
+        return self.limits.values[resource]
 
     def _cap_factors(self) -> Dict[Resource, float]:
         """Per-resource slowdown from the container's own limits (caps).
@@ -134,19 +168,20 @@ class Container:
         """
         from repro.cluster.node import Node  # local import avoids a cycle
 
-        factors: Dict[Resource, float] = {}
         if self.instance is None:
             return {resource: 1.0 for resource in RESOURCE_TYPES}
-        raw = self.instance.resource_demand()
+        queueing_factor = Node._queueing_factor
+        raw = self.instance.resource_demand().values
+        factors: Dict[Resource, float] = {}
         for resource in RESOURCE_TYPES:
             want = raw[resource]
             limit = self._limit_for(resource)
             if want <= 0:
                 factors[resource] = 1.0
             elif limit <= 0:
-                factors[resource] = Node._queueing_factor(Node.MAX_UTILIZATION)
+                factors[resource] = queueing_factor(Node.MAX_UTILIZATION)
             else:
-                factors[resource] = Node._queueing_factor(want / limit)
+                factors[resource] = queueing_factor(want / limit)
         return factors
 
     def throttle_factor(self) -> float:
@@ -195,11 +230,11 @@ class Container:
         if self.instance is None:
             return 1.0
         cap = self._cap_factors()
-        node_factors = (
-            self.node.contention_factors(self)
-            if self.node is not None
-            else {resource: 1.0 for resource in RESOURCE_TYPES}
-        )
+        node = self.node
+        if node is not None:
+            node_factors = node.contention_factors(self)
+        else:
+            node_factors = {resource: 1.0 for resource in RESOURCE_TYPES}
         profile = self.instance.profile.resource_weights
         slowdown = 1.0
         for resource in RESOURCE_TYPES:

@@ -13,14 +13,20 @@ queue.  The effective span processing time combines:
 This is the substrate equivalent of "a Docker container running one
 DeathStarBench service": it converts resource starvation into latency,
 which is exactly the signal FIRM detects, localizes, and mitigates.
+
+``submit``/``_try_dispatch``/``_finish`` run once per span, making this the
+hottest non-engine code in the simulator: the service-time stream and its
+lognormal parameters are cached per instance, span bookkeeping objects are
+slotted, and listener dispatch avoids per-span list copies.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.cluster.container import Container
 from repro.cluster.resources import Resource, ResourceVector
@@ -74,7 +80,7 @@ class ServiceProfile:
         return max(self.resource_weights, key=lambda r: self.resource_weights[r])
 
 
-@dataclass
+@dataclass(slots=True)
 class SpanWork:
     """One span's worth of work queued at an instance."""
 
@@ -104,6 +110,28 @@ class MicroserviceInstance:
     replica_index:
         Replica ordinal within the service's replica set.
     """
+
+    __slots__ = (
+        "__weakref__",
+        "profile",
+        "container",
+        "engine",
+        "rng",
+        "replica_index",
+        "name",
+        "_queue",
+        "_in_service",
+        "_completed_spans",
+        "_dropped_spans",
+        "_busy_time",
+        "_last_busy_update",
+        "recent_latencies_ms",
+        "max_queue_length",
+        "completion_listeners",
+        "_service_stream",
+        "_lognormal_params",
+        "_finish_event_name",
+    )
 
     def __init__(
         self,
@@ -135,8 +163,20 @@ class MicroserviceInstance:
         #: Observers invoked as ``listener(instance, latency_ms)`` after each
         #: span completes (state already updated, so ``in_flight`` reflects
         #: the post-completion load).  Routing policies use these to maintain
-        #: idle queues (JIQ) and per-replica latency EWMAs.
+        #: idle queues (JIQ) and per-replica latency EWMAs.  Listeners must
+        #: not mutate this list from inside a dispatch.
         self.completion_listeners: List[Callable[["MicroserviceInstance", float], None]] = []
+        #: Cached service-time substream (looked up once, not per span).
+        self._service_stream = rng.stream(f"service:{self.name}")
+        #: Cached lognormal (mu, sigma) keyed by the profile parameters
+        #: they were derived from, so profile edits still take effect.
+        self._lognormal_params: Tuple[float, float, float, float] = (
+            float("nan"),
+            float("nan"),
+            0.0,
+            0.0,
+        )
+        self._finish_event_name = f"span-finish:{self.name}"
 
     # --------------------------------------------------------------- metrics
     @property
@@ -162,8 +202,16 @@ class MicroserviceInstance:
 
     def resource_demand(self) -> ResourceVector:
         """Instantaneous resource demand driven by in-flight work."""
-        active = len(self._in_service) + min(len(self._queue), self.concurrency())
-        return self.profile.demand_per_request * float(active)
+        queued = len(self._queue)
+        concurrency = self.concurrency()
+        active = len(self._in_service) + (
+            queued if queued < concurrency else concurrency
+        )
+        demand_values = self.profile.demand_per_request.values
+        scale = float(active)
+        return ResourceVector._from_normalized(
+            {resource: value * scale for resource, value in demand_values.items()}
+        )
 
     def utilization(self) -> ResourceVector:
         """Per-resource utilization of the hosting container."""
@@ -201,28 +249,40 @@ class MicroserviceInstance:
         return True
 
     def _draw_service_time_ms(self) -> float:
-        """Lognormal service time with the profile's mean and CV."""
-        mean = self.profile.base_service_time_ms
-        cv = max(1e-6, self.profile.service_time_cv)
-        import math
+        """Lognormal service time with the profile's mean and CV.
 
-        sigma2 = math.log(1.0 + cv * cv)
-        mu = math.log(mean) - sigma2 / 2.0
-        stream = self.rng.stream(f"service:{self.name}")
-        return float(stream.lognormal(mu, math.sqrt(sigma2)))
+        The (mu, sigma) pair is cached against the profile parameters it
+        was computed from; the two ``math.log`` calls only rerun when a
+        controller or anomaly actually changes the profile.
+        """
+        profile = self.profile
+        mean = profile.base_service_time_ms
+        cv = profile.service_time_cv if profile.service_time_cv > 1e-6 else 1e-6
+        cached_mean, cached_cv, mu, sigma = self._lognormal_params
+        if mean != cached_mean or cv != cached_cv:
+            sigma2 = math.log(1.0 + cv * cv)
+            mu = math.log(mean) - sigma2 / 2.0
+            sigma = math.sqrt(sigma2)
+            self._lognormal_params = (mean, cv, mu, sigma)
+        return float(self._service_stream.lognormal(mu, sigma))
 
     def _try_dispatch(self) -> None:
         """Move queued spans into service while concurrency slots are free."""
-        while self._queue and len(self._in_service) < self.concurrency():
-            work = self._queue.popleft()
+        queue = self._queue
+        if not queue:
+            return
+        in_service = self._in_service
+        concurrency = self.concurrency()
+        while queue and len(in_service) < concurrency:
+            work = queue.popleft()
             work.start_time = self.engine.now
-            self._in_service[work.work_id] = work
+            in_service[work.work_id] = work
             slowdown = self.container.total_slowdown()
             duration_s = (work.base_time_ms * slowdown) / 1000.0
             self.engine.schedule_after(
                 duration_s,
                 lambda eng, w=work: self._finish(w),
-                name=f"span-finish:{self.name}",
+                name=self._finish_event_name,
             )
 
     def _finish(self, work: SpanWork) -> None:
@@ -231,12 +291,13 @@ class MicroserviceInstance:
         self._completed_spans += 1
         finish_time = self.engine.now
         latency_ms = (finish_time - work.enqueue_time) * 1000.0
-        self.recent_latencies_ms.append(latency_ms)
-        if len(self.recent_latencies_ms) > 4096:
-            del self.recent_latencies_ms[: len(self.recent_latencies_ms) - 4096]
+        recent = self.recent_latencies_ms
+        recent.append(latency_ms)
+        if len(recent) > 4096:
+            del recent[: len(recent) - 4096]
         work.on_complete(work.enqueue_time, work.start_time or work.enqueue_time, finish_time)
         self._try_dispatch()
-        for listener in list(self.completion_listeners):
+        for listener in self.completion_listeners:
             listener(self, latency_ms)
 
     def drain_latency_window(self) -> List[float]:

@@ -115,10 +115,12 @@ class Node:
     # ------------------------------------------------------------- contention
     def demand(self) -> ResourceVector:
         """Aggregate instantaneous resource demand of hosted containers."""
-        total = ResourceVector()
+        total: Dict[Resource, float] = {r: 0.0 for r in RESOURCE_TYPES}
         for container in self.containers:
-            total = total + container.current_demand()
-        return total
+            demand_values = container._capped_demand_values()
+            for resource in RESOURCE_TYPES:
+                total[resource] = total[resource] + demand_values[resource]
+        return ResourceVector._from_normalized(total)
 
     #: Utilization is clipped below full saturation so the queueing-delay
     #: curve stays finite even when demand nominally exceeds capacity.
@@ -191,31 +193,58 @@ class Node:
           guarantee, which is exactly what Intel CAT/MBA, cgroups CFS
           quota, blkio, and tc/HTB provide;
         * an unpartitioned container competes in the best-effort pool.
+
+        This runs once per dispatched span, so the pool demand is
+        accumulated on plain dicts (one pass over the hosted containers)
+        and the best-effort pool collapses to raw capacity when no
+        container on the node has an enforced partition.
         """
         factors: Dict[Resource, float] = {}
         protected = container is not None and container.partition_enforced
-        pool_demand: Optional[ResourceVector] = None
-        if not protected:
-            pool_demand = ResourceVector()
-            for hosted in self.containers:
-                if not hosted.partition_enforced:
-                    pool_demand = pool_demand + hosted.current_demand()
-            pool_demand = pool_demand + self._injected_pressure
+        capacity_values = self.capacity.values
+        queueing_factor = self._queueing_factor
+        has_enforced = False
+        for hosted in self.containers:
+            if hosted.partition_enforced:
+                has_enforced = True
+                break
+
+        if protected:
+            demand_values = container._capped_demand_values()
+            limit_values = container.limits.values
+            for resource in RESOURCE_TYPES:
+                capacity = capacity_values[resource]
+                if capacity <= 0:
+                    factors[resource] = 1.0
+                    continue
+                guarantee = limit_values[resource] * self._dilution_scale(resource)
+                if guarantee <= 0:
+                    factors[resource] = queueing_factor(self.MAX_UTILIZATION)
+                    continue
+                factors[resource] = queueing_factor(demand_values[resource] / guarantee)
+            return factors
+
+        pool_demand: Dict[Resource, float] = {r: 0.0 for r in RESOURCE_TYPES}
+        for hosted in self.containers:
+            if not hosted.partition_enforced:
+                hosted_demand = hosted._capped_demand_values()
+                for resource in RESOURCE_TYPES:
+                    pool_demand[resource] = (
+                        pool_demand[resource] + hosted_demand[resource]
+                    )
+        pressure_values = self._injected_pressure.values
+        for resource in RESOURCE_TYPES:
+            pool_demand[resource] = pool_demand[resource] + pressure_values[resource]
 
         for resource in RESOURCE_TYPES:
-            capacity = self.capacity[resource]
+            capacity = capacity_values[resource]
             if capacity <= 0:
                 factors[resource] = 1.0
                 continue
-            if protected:
-                guarantee = container.limits[resource] * self._dilution_scale(resource)
-                if guarantee <= 0:
-                    factors[resource] = self._queueing_factor(self.MAX_UTILIZATION)
-                    continue
-                rho = container.current_demand()[resource] / guarantee
-            else:
-                rho = pool_demand[resource] / self.best_effort_pool(resource)
-            factors[resource] = self._queueing_factor(rho)
+            # With no enforced partitions anywhere on the node, the
+            # best-effort pool is the full capacity (reserved usage is 0).
+            pool = self.best_effort_pool(resource) if has_enforced else capacity
+            factors[resource] = queueing_factor(pool_demand[resource] / pool)
         return factors
 
     def utilization(self) -> ResourceVector:

@@ -11,8 +11,8 @@ effect, so mitigation time is bounded below exactly as on real hardware.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.cluster.actuation import ActuationModel
 from repro.cluster.cluster import Cluster

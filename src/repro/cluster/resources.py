@@ -5,6 +5,13 @@ CPU time, memory bandwidth, last-level-cache (LLC) capacity, disk I/O
 bandwidth, and network bandwidth.  This module defines the resource
 enumeration and small vector types used everywhere else: node capacities,
 container limits, instantaneous demand, and utilization.
+
+The vector type is on the per-span hot path (demand, contention, and
+utilization are recomputed for every dispatched span), so its accessors
+and arithmetic avoid enum construction and per-element callables: since
+:class:`Resource` is a ``str`` enum, members hash and compare equal to
+their value strings and the backing dict can be indexed directly with
+either form.
 """
 
 from __future__ import annotations
@@ -62,82 +69,121 @@ class ResourceVector:
     values: Dict[Resource, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        values = self.values
         normalized: Dict[Resource, float] = {}
         for resource in RESOURCE_TYPES:
-            normalized[resource] = float(self.values.get(resource, 0.0))
+            value = values.get(resource)
+            normalized[resource] = float(value) if value is not None else 0.0
         self.values = normalized
+
+    @classmethod
+    def _from_normalized(cls, values: Dict[Resource, float]) -> "ResourceVector":
+        """Wrap an already-normalized dict without re-validating it.
+
+        Internal fast path for arithmetic results: ``values`` must hold one
+        float for every member of :data:`RESOURCE_TYPES`.
+        """
+        vector = object.__new__(cls)
+        vector.values = values
+        return vector
 
     # ------------------------------------------------------------ accessors
     def __getitem__(self, resource: Resource) -> float:
-        return self.values[Resource(resource)]
+        # Resource is a str enum, so the dict accepts the member or its
+        # string value directly; no enum construction on the hot path.
+        return self.values[resource]
 
     def __setitem__(self, resource: Resource, value: float) -> None:
         self.values[Resource(resource)] = float(value)
 
     def get(self, resource: Resource, default: float = 0.0) -> float:
-        return self.values.get(Resource(resource), default)
+        return self.values.get(resource, default)
 
     def __iter__(self) -> Iterator[Resource]:
         return iter(RESOURCE_TYPES)
 
     def items(self) -> Iterable[Tuple[Resource, float]]:
-        return ((resource, self.values[resource]) for resource in RESOURCE_TYPES)
+        values = self.values
+        return ((resource, values[resource]) for resource in RESOURCE_TYPES)
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-string-keyed dictionary (for reports and JSON)."""
-        return {resource.value: self.values[resource] for resource in RESOURCE_TYPES}
+        values = self.values
+        return {resource.value: values[resource] for resource in RESOURCE_TYPES}
 
     def copy(self) -> "ResourceVector":
-        return ResourceVector(dict(self.values))
+        return ResourceVector._from_normalized(dict(self.values))
 
     # ----------------------------------------------------------- arithmetic
-    def _combine(self, other: "ResourceVector | Mapping | float", op) -> "ResourceVector":
-        result: Dict[Resource, float] = {}
-        for resource in RESOURCE_TYPES:
-            if isinstance(other, (int, float)):
-                rhs = float(other)
-            elif isinstance(other, ResourceVector):
-                rhs = other[resource]
-            else:
-                rhs = float(other.get(resource, 0.0))
-            result[resource] = op(self.values[resource], rhs)
-        return ResourceVector(result)
+    def _rhs_values(self, other: "ResourceVector | Mapping | float") -> Dict[Resource, float]:
+        """Normalize the right-hand side of an arithmetic op to a dict."""
+        if isinstance(other, ResourceVector):
+            return other.values
+        if isinstance(other, (int, float)):
+            rhs = float(other)
+            return {resource: rhs for resource in RESOURCE_TYPES}
+        return {
+            resource: float(other.get(resource, 0.0)) for resource in RESOURCE_TYPES
+        }
 
     def __add__(self, other) -> "ResourceVector":
-        return self._combine(other, lambda a, b: a + b)
+        values = self.values
+        rhs = self._rhs_values(other)
+        return ResourceVector._from_normalized(
+            {resource: values[resource] + rhs[resource] for resource in RESOURCE_TYPES}
+        )
 
     def __sub__(self, other) -> "ResourceVector":
-        return self._combine(other, lambda a, b: a - b)
+        values = self.values
+        rhs = self._rhs_values(other)
+        return ResourceVector._from_normalized(
+            {resource: values[resource] - rhs[resource] for resource in RESOURCE_TYPES}
+        )
 
     def __mul__(self, other) -> "ResourceVector":
-        return self._combine(other, lambda a, b: a * b)
+        values = self.values
+        if isinstance(other, (int, float)):
+            scale = float(other)
+            return ResourceVector._from_normalized(
+                {resource: values[resource] * scale for resource in RESOURCE_TYPES}
+            )
+        rhs = self._rhs_values(other)
+        return ResourceVector._from_normalized(
+            {resource: values[resource] * rhs[resource] for resource in RESOURCE_TYPES}
+        )
 
     def clamp_nonnegative(self) -> "ResourceVector":
         """Return a copy with all negative entries replaced by zero."""
-        return ResourceVector(
+        return ResourceVector._from_normalized(
             {resource: max(0.0, value) for resource, value in self.values.items()}
         )
 
     def ratio(self, denominator: "ResourceVector") -> "ResourceVector":
         """Element-wise ratio; a zero denominator maps to a ratio of zero."""
+        values = self.values
+        denominator_values = denominator.values
         result: Dict[Resource, float] = {}
         for resource in RESOURCE_TYPES:
-            denom = denominator[resource]
-            result[resource] = self.values[resource] / denom if denom > 0 else 0.0
-        return ResourceVector(result)
+            denom = denominator_values[resource]
+            result[resource] = values[resource] / denom if denom > 0 else 0.0
+        return ResourceVector._from_normalized(result)
 
     def total(self) -> float:
         """Sum across all resource types (used for coarse comparisons)."""
-        return float(sum(self.values[resource] for resource in RESOURCE_TYPES))
+        values = self.values
+        return float(sum(values[resource] for resource in RESOURCE_TYPES))
 
     def dominates(self, other: "ResourceVector") -> bool:
         """True if every component is >= the corresponding component of ``other``."""
-        return all(self.values[r] >= other[r] for r in RESOURCE_TYPES)
+        values = self.values
+        other_values = other.values
+        return all(values[r] >= other_values[r] for r in RESOURCE_TYPES)
 
     @classmethod
     def uniform(cls, value: float) -> "ResourceVector":
         """Vector with the same ``value`` for every resource type."""
-        return cls({resource: value for resource in RESOURCE_TYPES})
+        value = float(value)
+        return cls._from_normalized({resource: value for resource in RESOURCE_TYPES})
 
     @classmethod
     def from_kwargs(
@@ -149,13 +195,13 @@ class ResourceVector:
         network: float = 0.0,
     ) -> "ResourceVector":
         """Construct from keyword arguments, one per resource type."""
-        return cls(
+        return cls._from_normalized(
             {
-                Resource.CPU: cpu,
-                Resource.MEMORY_BANDWIDTH: memory_bandwidth,
-                Resource.LLC: llc,
-                Resource.DISK_IO: disk_io,
-                Resource.NETWORK: network,
+                Resource.CPU: float(cpu),
+                Resource.MEMORY_BANDWIDTH: float(memory_bandwidth),
+                Resource.LLC: float(llc),
+                Resource.DISK_IO: float(disk_io),
+                Resource.NETWORK: float(network),
             }
         )
 

@@ -22,7 +22,7 @@ import enum
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.node import Node
-from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceLimits, ResourceVector
+from repro.cluster.resources import RESOURCE_TYPES, ResourceLimits
 from repro.sim.rng import SeededRNG
 
 

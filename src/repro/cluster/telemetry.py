@@ -11,16 +11,19 @@ exposes to the Extractor and the RL agent.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
-from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
+from repro.cluster.resources import RESOURCE_TYPES, ResourceUsage, ResourceVector
 from repro.sim.engine import SimulationEngine
 
 
-@dataclass
+@dataclass(slots=True)
 class TelemetrySample:
     """One per-container telemetry observation.
+
+    Samples are allocated once per container per sampling period for the
+    whole run, so the dataclass is slotted to keep them small and cheap.
 
     Attributes
     ----------
@@ -126,14 +129,20 @@ class TelemetryCollector:
         return batch
 
     def sample_container(self, container) -> TelemetrySample:
-        """Sample a single container and append to its history."""
+        """Sample a single container and append to its history.
+
+        The capped demand is computed once and shared between the usage
+        and utilization fields (they are derived from the same instant),
+        halving the per-sample resource-model work.
+        """
         instance = container.instance
+        demand, utilization = container.demand_and_utilization()
         sample = TelemetrySample(
             time=self.engine.now,
             container_id=container.id,
             service_name=container.service_name,
-            usage=container.usage(),
-            utilization=container.utilization(),
+            usage=ResourceUsage._from_normalized(dict(demand)),
+            utilization=ResourceVector._from_normalized(utilization),
             limits=container.limits.copy(),
             node=container.node.name if container.node is not None else None,
             queue_length=instance.queue_length if instance is not None else 0,

@@ -12,9 +12,9 @@ Background spans never participate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.tracing.span import Span, SpanKind
+from repro.tracing.span import Span
 from repro.tracing.trace import Trace
 
 

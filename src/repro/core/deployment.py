@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.cluster.instance import MicroserviceInstance
-from repro.cluster.orchestrator import ActionRecord, Orchestrator, ScaleAction
+from repro.cluster.orchestrator import ActionRecord, Orchestrator
 from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
 
 

@@ -10,7 +10,7 @@ estimator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.critical_component import (
     CriticalComponentExtractor,
@@ -19,7 +19,6 @@ from repro.core.critical_component import (
 from repro.core.critical_path import CriticalPath, CriticalPathExtractor
 from repro.core.svm import IncrementalSVM
 from repro.tracing.coordinator import TracingCoordinator
-from repro.tracing.trace import Trace
 
 
 @dataclass

@@ -31,7 +31,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.instance import MicroserviceInstance
 from repro.cluster.orchestrator import Orchestrator
 from repro.core.deployment import DeploymentModule
-from repro.core.extractor import ExtractionResult, Extractor
+from repro.core.extractor import Extractor
 from repro.core.rl.ddpg import DDPGAgent, DDPGConfig
 from repro.core.rl.env import MicroserviceEnvironment, ResourceBounds
 from repro.core.rl.reward import RewardConfig

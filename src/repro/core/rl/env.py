@@ -14,8 +14,8 @@ normalized to [-1, 1] and mapped to each resource's [lower, upper] range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 import numpy as np
 

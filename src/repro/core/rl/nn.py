@@ -9,7 +9,6 @@ agents can be checkpointed and transferred.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -8,7 +8,6 @@ control, plus a simple Gaussian alternative for ablations.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -18,7 +18,7 @@ cold start (and generate its own labels from mitigation outcomes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

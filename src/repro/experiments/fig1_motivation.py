@@ -12,8 +12,8 @@ cache-tier service in Social Network while recording a per-interval
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign

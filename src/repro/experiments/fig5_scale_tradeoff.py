@@ -19,7 +19,7 @@ from typing import Dict, List, Tuple
 
 from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
-from repro.cluster.resources import Resource, ResourceVector
+from repro.cluster.resources import ResourceVector
 from repro.experiments.harness import ExperimentHarness
 from repro.experiments.scenario import ScenarioSpec
 from repro.metrics.latency import LatencyStats

@@ -173,6 +173,20 @@ class MitigationTracker:
         """Durations of all closed violation episodes (seconds)."""
         return [episode.duration_s for episode in self._episodes if episode.duration_s is not None]
 
+    def as_dict(self) -> dict:
+        """Deterministic JSON form (episode count + durations).
+
+        Without this, generic dataclass serialization fell back to
+        ``str(tracker)`` — a repr containing the object's memory address,
+        which broke byte-identical re-runs of otherwise fully seeded
+        experiments.
+        """
+        return {
+            "episodes": len(self._episodes),
+            "mean_mitigation_time_s": self.mean_mitigation_time_s(),
+            "mitigation_times_s": self.mitigation_times_s(),
+        }
+
     def mean_mitigation_time_s(self) -> float:
         """Mean episode duration (0 when no episodes closed)."""
         times = self.mitigation_times_s()

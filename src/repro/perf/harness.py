@@ -1,0 +1,313 @@
+"""Timed execution, reports, baselines, and regression comparison.
+
+The harness runs each :class:`~repro.perf.scenarios.MacroBenchmark`
+through the exact code path experiments use
+(:meth:`ExperimentHarness.from_spec` + :meth:`run`) and measures:
+
+* **events/sec** — engine events processed per wall-clock second, the
+  headline simulator-throughput metric;
+* **requests/sec** — completed end-to-end requests per wall-clock second;
+* **peak RSS** — the process's high-water memory mark (``ru_maxrss``),
+  which is monotonic across benchmarks in one process, so it is sampled
+  once per report rather than per benchmark;
+* a **calibration score** — a straight-line Python work-rate probe used
+  to normalize committed baselines across machines of different speeds.
+
+Reports serialize to ``perf.json``; :func:`compare_reports` flags any
+benchmark whose calibration-normalized events/sec drops more than
+:data:`REGRESSION_THRESHOLD` below the committed baseline.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import gc
+import io
+import json
+import platform
+import pstats
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.perf.scenarios import MACRO_BENCHMARKS, MacroBenchmark, calibration_score
+
+#: The committed baseline the CI perf-smoke job compares against.
+DEFAULT_BASELINE_PATH = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "results" / "perf.json"
+)
+
+#: Fractional drop in normalized events/sec that counts as a regression.
+REGRESSION_THRESHOLD = 0.20
+
+
+@dataclass
+class BenchmarkResult:
+    """Measured throughput of one macro benchmark."""
+
+    name: str
+    description: str
+    quick: bool
+    sim_duration_s: float
+    scenarios: int
+    wall_s: float
+    events: int
+    requests: int
+    events_per_s: float
+    requests_per_s: float
+    #: events/sec divided by the host calibration score (dimensionless;
+    #: comparable across machines).
+    normalized_events: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "quick": self.quick,
+            "sim_duration_s": self.sim_duration_s,
+            "scenarios": self.scenarios,
+            "wall_s": round(self.wall_s, 4),
+            "events": self.events,
+            "requests": self.requests,
+            "events_per_s": round(self.events_per_s, 1),
+            "requests_per_s": round(self.requests_per_s, 2),
+            "normalized_events": round(self.normalized_events, 6),
+        }
+
+
+@dataclass
+class PerfReport:
+    """One full perf run: per-benchmark results plus host metadata."""
+
+    benchmarks: Dict[str, BenchmarkResult]
+    calibration: float
+    peak_rss_mb: float
+    python: str = field(default_factory=platform.python_version)
+    platform_tag: str = field(default_factory=platform.platform)
+    profile_top: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "schema": "repro.perf/1",
+            "python": self.python,
+            "platform": self.platform_tag,
+            "calibration_iters_per_s": round(self.calibration, 1),
+            "peak_rss_mb": round(self.peak_rss_mb, 1),
+            "benchmarks": {
+                name: result.as_dict() for name, result in sorted(self.benchmarks.items())
+            },
+        }
+        if self.profile_top is not None:
+            payload["profile_top"] = self.profile_top.splitlines()
+        return payload
+
+
+def _peak_rss_mb() -> float:
+    """Process peak RSS in MiB (0.0 where the resource module is absent)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0
+
+
+def _run_benchmark(
+    benchmark: MacroBenchmark, quick: bool, profiler: Optional[cProfile.Profile]
+) -> BenchmarkResult:
+    """Build and run every scenario of one benchmark, timed end to end.
+
+    Harness construction happens outside the timed window — the metric is
+    simulator throughput, not application-import cost.
+    """
+    from repro.experiments.harness import ExperimentHarness
+
+    specs = benchmark.specs(quick=quick)
+    harnesses = [ExperimentHarness.from_spec(spec) for spec in specs]
+    events = 0
+    requests = 0
+    sim_duration = 0.0
+    # Cyclic GC pauses land arbitrarily inside the timed window and are
+    # the dominant run-to-run noise (±20% observed with GC on, ±5% off).
+    # Refcounting still reclaims almost everything a simulation allocates,
+    # so pausing collection for the measurement is safe.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    if profiler is not None:
+        profiler.enable()
+    start = time.perf_counter()
+    try:
+        for spec, harness in zip(specs, harnesses):
+            result = harness.run(
+                duration_s=spec.duration_s,
+                sample_period_s=spec.sample_period_s,
+                warmup_s=spec.warmup_s,
+            )
+            events += harness.engine.processed_events
+            requests += int(result.slo.completed)
+            sim_duration += spec.duration_s
+        wall = time.perf_counter() - start
+    finally:
+        if profiler is not None:
+            profiler.disable()
+        if gc_was_enabled:
+            gc.enable()
+    wall = max(wall, 1e-9)
+    return BenchmarkResult(
+        name=benchmark.name,
+        description=benchmark.description,
+        quick=quick,
+        sim_duration_s=sim_duration,
+        scenarios=len(specs),
+        wall_s=wall,
+        events=events,
+        requests=requests,
+        events_per_s=events / wall,
+        requests_per_s=requests / wall,
+        normalized_events=0.0,  # filled in by run_perf once calibrated
+    )
+
+
+def run_perf(
+    quick: bool = False,
+    benchmarks: Optional[Sequence[str]] = None,
+    profile: bool = False,
+    profile_top_n: int = 25,
+    repeats: int = 1,
+) -> PerfReport:
+    """Run the macro benchmarks and return a :class:`PerfReport`.
+
+    Parameters
+    ----------
+    quick:
+        Use each benchmark's short CI duration instead of the full one.
+    benchmarks:
+        Subset of benchmark names (default: all of
+        :data:`~repro.perf.scenarios.MACRO_BENCHMARKS`).
+    profile:
+        Run everything under :mod:`cProfile` and attach the top
+        ``profile_top_n`` functions by cumulative time to the report.
+        Profiling slows the run down several-fold; profiled numbers are
+        for hot-spot hunting, never for baselines.
+    repeats:
+        Run each benchmark this many times and keep the repeat with the
+        **median** calibration-normalized throughput — the median is
+        robust against slow outliers (transient host load) *and* fast
+        ones (turbo bursts during the calibration probe), either of
+        which would poison a committed baseline.  CI and baseline
+        updates should use ``repeats >= 3``.
+    """
+    names = list(benchmarks) if benchmarks else list(MACRO_BENCHMARKS)
+    unknown = [name for name in names if name not in MACRO_BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown perf benchmark(s) {unknown}; available: {sorted(MACRO_BENCHMARKS)}"
+        )
+    repeats = max(1, int(repeats))
+    profiler = cProfile.Profile() if profile else None
+    results: Dict[str, BenchmarkResult] = {}
+    calibration = 0.0
+    for name in names:
+        attempts: List[BenchmarkResult] = []
+        for _ in range(repeats):
+            # Pair each repeat with its own calibration probe, taken
+            # immediately before the timed run: the normalized ratio of
+            # temporally adjacent measurements is stable (~±5%) even when
+            # the host's absolute speed drifts between processes (turbo,
+            # co-tenancy), which raw events/sec is not.
+            probe = calibration_score()
+            calibration = max(calibration, probe)
+            result = _run_benchmark(MACRO_BENCHMARKS[name], quick=quick, profiler=profiler)
+            result.normalized_events = result.events_per_s / probe if probe > 0 else 0.0
+            attempts.append(result)
+        attempts.sort(key=lambda result: result.normalized_events)
+        results[name] = attempts[len(attempts) // 2]
+
+    profile_top: Optional[str] = None
+    if profiler is not None:
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer).sort_stats("cumulative")
+        stats.print_stats(profile_top_n)
+        profile_top = buffer.getvalue()
+
+    return PerfReport(
+        benchmarks=results,
+        calibration=calibration,
+        peak_rss_mb=_peak_rss_mb(),
+        profile_top=profile_top,
+    )
+
+
+# ---------------------------------------------------------------- reports
+def save_report(report: PerfReport, path: Path) -> None:
+    """Write a report as indented JSON (the committed-baseline format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.as_dict(), handle, indent=2)
+        handle.write("\n")
+
+
+def load_report(path: Path) -> Dict[str, object]:
+    """Load a previously saved report (raw dict; tolerant of old schemas)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing one benchmark against the baseline."""
+
+    name: str
+    baseline_normalized: float
+    current_normalized: float
+    ratio: float
+    regressed: bool
+
+    def describe(self) -> str:
+        verdict = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.name}: {self.ratio:.2f}x of baseline "
+            f"(normalized {self.current_normalized:.6f} vs "
+            f"{self.baseline_normalized:.6f}) [{verdict}]"
+        )
+
+
+def compare_reports(
+    current: PerfReport,
+    baseline: Dict[str, object],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> List[Comparison]:
+    """Compare calibration-normalized events/sec against a baseline dict.
+
+    Only benchmarks present in both reports are compared (so adding a new
+    macro benchmark does not instantly fail CI before its baseline is
+    committed).  A benchmark regresses when its normalized throughput is
+    more than ``threshold`` below the baseline's.
+    """
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    comparisons: List[Comparison] = []
+    for name, result in sorted(current.benchmarks.items()):
+        entry = baseline_benchmarks.get(name)
+        if not isinstance(entry, dict):
+            continue
+        baseline_normalized = float(entry.get("normalized_events", 0.0))
+        if baseline_normalized <= 0:
+            continue
+        ratio = result.normalized_events / baseline_normalized
+        comparisons.append(
+            Comparison(
+                name=name,
+                baseline_normalized=baseline_normalized,
+                current_normalized=result.normalized_events,
+                ratio=ratio,
+                regressed=ratio < (1.0 - threshold),
+            )
+        )
+    return comparisons

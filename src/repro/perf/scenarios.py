@@ -1,0 +1,146 @@
+"""The macro-benchmark scenarios timed by :mod:`repro.perf`.
+
+Each macro benchmark is a representative end-to-end workload exercising a
+different slice of the stack:
+
+* ``fig10_single_tenant`` — the classic single-tenant social-network
+  scenario (workload + tracing + telemetry, no controller), the shape
+  every fig*/table* experiment reduces to;
+* ``multitenant_aggressor_victim`` — two tenants co-located on a small
+  shared cluster with per-tenant controllers and an aggressor campaign,
+  the multi-tenant interference shape;
+* ``routing_ewma_sweep`` — replicated services routed by ``ewma_latency``
+  under random anomalies, the routing-subsystem shape (policy state,
+  completion listeners, span tags).
+
+Benchmarks are defined declaratively through
+:class:`~repro.experiments.scenario.ScenarioSpec` so the timed code path
+is exactly the one experiments use — ``ExperimentHarness.from_spec`` +
+``harness.run`` — and each carries a ``quick`` duration for the CI smoke
+job next to its ``full`` duration for local runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments.scenario import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class MacroBenchmark:
+    """One named, timed scenario family.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (keys the committed baseline entries).
+    description:
+        One-line summary shown in reports.
+    full_duration_s / quick_duration_s:
+        Simulated seconds for local (``full``) and CI smoke (``quick``)
+        runs.  Throughput is wall-clock-normalized, so the two modes are
+        comparable; quick mode just trades statistical smoothness for
+        runtime.
+    build_specs:
+        Returns the scenario specs to run (all are timed together, so a
+        benchmark may be a small sweep).
+    """
+
+    name: str
+    description: str
+    full_duration_s: float
+    quick_duration_s: float
+    build_specs: Callable[[float], List[ScenarioSpec]]
+
+    def specs(self, quick: bool = False) -> List[ScenarioSpec]:
+        """The scenario specs for one run of this benchmark."""
+        duration = self.quick_duration_s if quick else self.full_duration_s
+        return self.build_specs(duration)
+
+
+def _fig10_single_tenant(duration_s: float) -> List[ScenarioSpec]:
+    return [
+        ScenarioSpec(
+            application="social_network",
+            seed=0,
+            duration_s=duration_s,
+            load_rps=50.0,
+            controller="none",
+        ),
+    ]
+
+
+def _multitenant_aggressor_victim(duration_s: float) -> List[ScenarioSpec]:
+    # experiments.interference's aggressor_victim preset: a
+    # latency-sensitive victim co-located with a heavy aggressor on a
+    # small shared cluster, with the benchmark's own duration.
+    from repro.experiments.interference import aggressor_victim
+
+    return [aggressor_victim(duration_s=duration_s, seed=0)]
+
+
+def _routing_ewma_sweep(duration_s: float) -> List[ScenarioSpec]:
+    from repro.experiments.sweep import routing_sweep_grid
+
+    return routing_sweep_grid(
+        policies=["ewma_latency"],
+        controllers=["none"],
+        tenant_counts=[1],
+        application="social_network",
+        seeds=[0],
+        load_rps=40.0,
+        duration_s=duration_s,
+    )
+
+
+MACRO_BENCHMARKS: Dict[str, MacroBenchmark] = {
+    benchmark.name: benchmark
+    for benchmark in (
+        MacroBenchmark(
+            name="fig10_single_tenant",
+            description="single-tenant social_network, open-loop 50 rps, no controller",
+            full_duration_s=60.0,
+            quick_duration_s=20.0,
+            build_specs=_fig10_single_tenant,
+        ),
+        MacroBenchmark(
+            name="multitenant_aggressor_victim",
+            description="two co-located tenants, per-tenant controllers, aggressor campaign",
+            full_duration_s=20.0,
+            quick_duration_s=5.0,
+            build_specs=_multitenant_aggressor_victim,
+        ),
+        MacroBenchmark(
+            name="routing_ewma_sweep",
+            description="replicated services routed by ewma_latency under anomalies",
+            full_duration_s=15.0,
+            quick_duration_s=5.0,
+            build_specs=_routing_ewma_sweep,
+        ),
+    )
+}
+
+
+def calibration_score(iterations: int = 2_000_000) -> float:
+    """A tiny pure-Python work-rate probe (iterations/second).
+
+    Committed events/sec baselines are recorded on one machine and
+    compared on another (CI runners, contributors' laptops); the
+    calibration score measures how fast the *host* runs straight-line
+    Python so `compare` can normalize throughput and flag genuine
+    regressions instead of slow hardware.
+    """
+    import time
+
+    counter = 0
+    items: Tuple[int, ...] = (1, 2, 3, 4, 5)
+    start = time.perf_counter()
+    for _ in range(iterations // len(items)):
+        for item in items:
+            counter += item
+    elapsed = time.perf_counter() - start
+    if counter < 0:  # pragma: no cover - keeps the loop from being elided
+        raise AssertionError
+    return iterations / elapsed if elapsed > 0 else 0.0

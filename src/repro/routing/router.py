@@ -25,6 +25,7 @@ experiments.
 
 from __future__ import annotations
 
+import sys
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Tuple
@@ -41,13 +42,31 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.instance import MicroserviceInstance
 
 
-@dataclass
+#: Shared cache of small-integer strings for span tags.  Queue depths and
+#: in-flight counts repeat constantly across spans; reusing one interned
+#: string per value keeps every span's tag dict pointing at shared objects
+#: instead of allocating fresh ``str(int)`` results per decision.
+_INT_STR_CACHE: Dict[int, str] = {}
+
+
+def _int_str(value: int) -> str:
+    cached = _INT_STR_CACHE.get(value)
+    if cached is None:
+        cached = sys.intern(str(value))
+        _INT_STR_CACHE[value] = cached
+    return cached
+
+
+@dataclass(slots=True)
 class RoutingDecision:
     """One routing decision: where a span was sent and why.
 
     ``queue_depth`` and ``in_flight`` are the selected replica's load *at
     decision time* (before the routed span is enqueued), so spans tagged
     with a decision record the congestion the balancer actually saw.
+
+    One decision is allocated per routed span, so the dataclass is slotted
+    and the tag values are interned.
     """
 
     service: str
@@ -60,8 +79,8 @@ class RoutingDecision:
         """The tags stamped onto the span this decision routed."""
         return {
             "routing.policy": self.policy,
-            "routing.queue_depth": str(self.queue_depth),
-            "routing.in_flight": str(self.in_flight),
+            "routing.queue_depth": _int_str(self.queue_depth),
+            "routing.in_flight": _int_str(self.in_flight),
         }
 
 
@@ -173,7 +192,11 @@ class RequestRouter:
         effect immediately), ensures completion feedback is wired, and
         records the decision.
         """
-        replicas = self.cluster.replicas_of(service_name)
+        # The live replica list, not the defensive copy `replicas_of`
+        # returns: routing runs once per span and policies only read the
+        # sequence (see RoutingPolicy.select's contract), so the copy
+        # would be pure allocation churn.
+        replicas = self.cluster.live_replicas(service_name)
         if not replicas:
             raise KeyError(f"service {service_name!r} is not deployed")
         name, policy = self._entry(service_name)

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
@@ -14,14 +13,21 @@ class EventOrderError(RuntimeError):
 _sequence = itertools.count()
 
 
-@dataclass(order=True)
 class Event:
     """A unit of scheduled work.
 
     Events are ordered by ``(time, priority, seq)``.  ``seq`` is a global
     monotonically increasing counter that breaks ties deterministically so
     that two events scheduled for the same instant always execute in the
-    order they were created.
+    order they were created.  The engine's heap stores plain
+    ``(time, priority, seq, event)`` tuples so the priority queue compares
+    C-level ints/floats instead of invoking rich comparisons on ``Event``
+    objects; the ``__lt__`` defined here is kept for direct comparisons in
+    user code and tests.
+
+    The class uses ``__slots__`` — events are the single most allocated
+    object in a simulation, and slotted instances are both smaller and
+    faster to create than dict-backed ones.
 
     Attributes
     ----------
@@ -35,16 +41,65 @@ class Event:
         Optional human-readable label used in traces and error messages.
     """
 
-    time: float
-    priority: int = 0
-    seq: int = field(default_factory=lambda: next(_sequence))
-    callback: Optional[Callable[..., Any]] = field(default=None, compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "name",
+        "cancelled",
+        "_engine",
+        "_in_queue",
+        "_on_cancel",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int = 0,
+        seq: Optional[int] = None,
+        callback: Optional[Callable[..., Any]] = None,
+        name: str = "",
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = next(_sequence) if seq is None else seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = cancelled
+        #: Engine whose queue currently holds this event (set by the
+        #: engine when scheduled so cancellation can be accounted for).
+        self._engine = None
+        self._in_queue = False
+        #: Optional callable invoked exactly once when the event is
+        #: cancelled (used by recurring schedules to stop the whole chain).
+        self._on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; the engine will skip it when popped."""
+        """Mark the event as cancelled; the engine will skip it when popped.
+
+        Cancelling is idempotent.  The owning engine is notified so that
+        :attr:`SimulationEngine.pending_events` can exclude cancelled
+        events and the heap can be compacted when cancellations pile up.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self._engine
+        if engine is not None:
+            engine._note_cancelled(self)
+        on_cancel = self._on_cancel
+        if on_cancel is not None:
+            self._on_cancel = None
+            on_cancel()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = self.name or (self.callback.__name__ if self.callback else "<none>")

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
-from repro.core.critical_path import CriticalPath, CriticalPathExtractor
+from repro.core.critical_path import CriticalPathExtractor
 from repro.metrics.latency import LatencyStats
 from repro.tracing.trace import Trace
 

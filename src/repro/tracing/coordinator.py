@@ -58,8 +58,11 @@ class TracingCoordinator:
         #: Hooks invoked with each trace as it finishes (completes or drops).
         #: Streaming observers (e.g. the harness's SLO accounting) use these
         #: instead of scanning the bounded store after the fact, so traces
-        #: evicted from the store are still accounted.
+        #: evicted from the store are still accounted.  Dispatch iterates a
+        #: tuple snapshot rebuilt on add/remove, so the per-trace hot path
+        #: never copies the hook list.
         self._completion_hooks: List[Callable[[Trace], None]] = []
+        self._completion_hooks_snapshot: Tuple[Callable[[Trace], None], ...] = ()
 
     # --------------------------------------------------------------- ingest
     def register_slo(self, request_type: str, slo_latency_ms: float) -> None:
@@ -98,14 +101,16 @@ class TracingCoordinator:
         ``trace.request_id``.
         """
         self._completion_hooks.append(hook)
+        self._completion_hooks_snapshot = tuple(self._completion_hooks)
 
     def remove_completion_hook(self, hook: Callable[[Trace], None]) -> None:
         """Unregister a previously added completion hook (no-op if absent)."""
         if hook in self._completion_hooks:
             self._completion_hooks.remove(hook)
+        self._completion_hooks_snapshot = tuple(self._completion_hooks)
 
     def _fire_completion(self, trace: Trace) -> None:
-        for hook in list(self._completion_hooks):
+        for hook in self._completion_hooks_snapshot:
             hook(trace)
 
     # ----------------------------------------------------------------- stats

@@ -26,9 +26,13 @@ class SpanKind(str, enum.Enum):
     BACKGROUND = "background"
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One unit of work done by a microservice instance for a request.
+
+    One span is allocated per RPC in every trace, so the dataclass is
+    slotted: spans are the second most common object in a run after
+    engine events.
 
     Attributes
     ----------

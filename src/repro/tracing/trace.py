@@ -27,6 +27,17 @@ class Trace:
         coordinator can group traces per request type for SLO accounting.
     """
 
+    __slots__ = (
+        "request_id",
+        "request_type",
+        "tenant",
+        "_spans",
+        "_children",
+        "arrival_time",
+        "completion_time",
+        "dropped",
+    )
+
     def __init__(self, request_id: str, request_type: str, tenant: Optional[str] = None) -> None:
         self.request_id = request_id
         self.request_type = request_type

@@ -59,6 +59,13 @@ class WorkloadGenerator:
         self._stop_time: Optional[float] = None
         self.generated_requests = 0
         self.per_type_counts: Dict[str, int] = {name: 0 for name, _ in self.request_mix}
+        # Cached per-arrival state: the RNG substreams (one dict lookup each
+        # otherwise, via an f-string key) and the normalized mix as parallel
+        # name/probability sequences for the per-request type draw.
+        self._arrival_stream = rng.stream(f"workload:{runtime.app.name}")
+        self._mix_stream_name = f"workload-mix:{runtime.app.name}"
+        self._mix_names: List[str] = [name for name, _ in self.request_mix]
+        self._mix_probs: List[float] = [weight for _, weight in self.request_mix]
 
     # ------------------------------------------------------------------ run
     def start(self, duration_s: Optional[float] = None) -> None:
@@ -77,8 +84,7 @@ class WorkloadGenerator:
         if not self._running:
             return
         rate = max(self.pattern.rate_at(self.engine.now), 1e-9)
-        stream = self.rng.stream(f"workload:{self.runtime.app.name}")
-        gap = float(stream.exponential(1.0 / rate))
+        gap = float(self._arrival_stream.exponential(1.0 / rate))
         # Keep inter-arrival gaps bounded so a near-zero rate does not stall
         # the generator forever: re-evaluate the pattern at least every 5 s.
         gap = min(gap, 5.0)
@@ -97,10 +103,8 @@ class WorkloadGenerator:
         self._schedule_next_arrival()
 
     def _submit_one(self) -> None:
-        names = [name for name, _ in self.request_mix]
-        probs = [weight for _, weight in self.request_mix]
         request_type = self.rng.choice(
-            f"workload-mix:{self.runtime.app.name}", names, p=probs
+            self._mix_stream_name, self._mix_names, p=self._mix_probs
         )
         self.runtime.submit_request(request_type)
         self.generated_requests += 1

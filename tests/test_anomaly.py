@@ -17,7 +17,7 @@ from repro.anomaly.campaigns import (
     single_anomaly_sweep,
 )
 from repro.anomaly.injector import PerformanceAnomalyInjector
-from repro.cluster.resources import Resource, ResourceVector, default_node_capacity
+from repro.cluster.resources import Resource, default_node_capacity
 from repro.sim.rng import SeededRNG
 
 

@@ -5,9 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.instance import ServiceProfile
 from repro.cluster.node import NodeSpec
-from repro.cluster.resources import Resource, ResourceLimits, ResourceVector
+from repro.cluster.resources import Resource, ResourceLimits
 
 
 class TestTopology:

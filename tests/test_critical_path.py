@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.critical_path import CriticalPath, CriticalPathExtractor
+from repro.core.critical_path import CriticalPathExtractor
 from repro.tracing.span import Span, SpanKind
 from repro.tracing.trace import Trace
 

@@ -8,7 +8,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.anomaly.anomalies import AnomalyType
 from repro.experiments.fig3_cp_distributions import run_fig3_for_application
 from repro.experiments.fig5_scale_tradeoff import _run_point
 from repro.experiments.fig9_localization import auc, roc_curve, run_fig9c

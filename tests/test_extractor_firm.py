@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
@@ -115,7 +114,7 @@ class TestFIRMController:
         harness.attach_workload(load_rps=30.0)
         harness.attach_firm()
         before = harness.cluster.total_requested_cpu()
-        result = harness.run(duration_s=120.0)
+        harness.run(duration_s=120.0)
         after = harness.cluster.total_requested_cpu()
         assert after < before
 
@@ -142,8 +141,7 @@ class TestBaselines:
             intensity=0.95,
         )
         harness.run(duration_s=90.0, load_rps=80.0)
-        # Some service should have been scaled beyond its initial replica count.
-        scaled = [r for r in harness.orchestrator.history if r.action.value == "scale_out"]
+        # The HPA baseline should at least have executed control rounds.
         assert isinstance(harness.controller, KubernetesAutoscaler)
         assert harness.controller.rounds_executed > 0
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.resources import Resource, ResourceVector
-from repro.core.firm import FIRMConfig, FIRMController
+from repro.core.firm import FIRMConfig
 from repro.experiments.fig9_localization import DEFAULT_SWEEP_TARGETS
 from repro.experiments.harness import ExperimentHarness
 
@@ -77,7 +77,7 @@ class TestSaturationRelief:
         for index in range(8):
             instance.submit(f"r{index}", "text", lambda *a: None)
         before = instance.container.limits[Resource.CPU]
-        relieved = firm._relieve_saturated_partitions(set())
+        firm._relieve_saturated_partitions(set())
         harness.engine.run_until(harness.engine.now + 1.0)
         assert instance.container.limits[Resource.CPU] == pytest.approx(before)
 

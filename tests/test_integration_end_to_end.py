@@ -13,7 +13,6 @@ from repro.anomaly.anomalies import AnomalySpec, AnomalyType
 from repro.anomaly.campaigns import AnomalyCampaign
 from repro.apps.catalog import APPLICATIONS
 from repro.cluster.resources import Resource
-from repro.core.firm import FIRMConfig
 from repro.experiments.harness import ExperimentHarness
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster.cluster import Cluster, TenantClusterView
+from repro.cluster.cluster import TenantClusterView
 from repro.cluster.container import Container
 from repro.cluster.node import Node, NodeSpec
 from repro.cluster.resources import Resource, ResourceLimits
@@ -19,7 +19,6 @@ from repro.experiments.interference import (
 from repro.experiments.scenario import ScenarioSpec, TenantSpec, run_scenario
 from repro.experiments.sweep import run_sweep, tenant_sweep_grid
 from repro.metrics.slo import SLOTracker, merge_slo_trackers
-from repro.sim.rng import SeededRNG
 
 
 def _two_tenant_spec(**overrides) -> ScenarioSpec:

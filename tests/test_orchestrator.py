@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster.actuation import ACTUATION_LATENCY, ActuationModel, PARTITION_OPERATION
-from repro.cluster.orchestrator import Orchestrator, ScaleAction
+from repro.cluster.orchestrator import ScaleAction
 from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
 from repro.sim.rng import SeededRNG
 

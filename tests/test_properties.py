@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.cluster.node import Node, NodeSpec
-from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
+from repro.cluster.node import Node
+from repro.cluster.resources import RESOURCE_TYPES, ResourceVector
 from repro.core.rl.env import MicroserviceEnvironment
 from repro.core.rl.nn import MLP
 from repro.core.rl.replay_buffer import ReplayBuffer
@@ -15,7 +15,7 @@ from repro.core.svm import RBFFeatureMap
 from repro.metrics.latency import LatencyStats, cdf_points, percentile
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRNG
-from repro.workload.patterns import ConstantPattern, DiurnalPattern, SpikePattern, StepPattern
+from repro.workload.patterns import ConstantPattern, DiurnalPattern, StepPattern
 
 nonneg_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
 small_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)

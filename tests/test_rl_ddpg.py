@@ -85,7 +85,6 @@ class TestTraining:
                 actor_learning_rate=1e-3, critic_learning_rate=1e-2, seed=3,
             )
         )
-        rng = np.random.default_rng(0)
         state = np.zeros(2)
 
         def reward_of(action: np.ndarray) -> float:

@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.cluster.resources import RESOURCE_TYPES, Resource, ResourceVector
-from repro.core.rl.env import MicroserviceEnvironment, ResourceBounds, RLState
+from repro.cluster.resources import RESOURCE_TYPES, Resource
+from repro.core.rl.env import MicroserviceEnvironment, ResourceBounds
 from repro.tracing.coordinator import TracingCoordinator
 
 

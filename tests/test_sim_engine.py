@@ -106,6 +106,103 @@ class TestScheduling:
         assert engine.pending_events == 0
 
 
+class TestCancellationAccounting:
+    """pending_events contract + heap compaction (see engine docstrings)."""
+
+    def test_pending_events_excludes_cancelled(self, engine):
+        engine.schedule(1.0, lambda eng: None)
+        victims = [engine.schedule(2.0, lambda eng: None) for _ in range(3)]
+        assert engine.pending_events == 4
+        for victim in victims:
+            victim.cancel()
+        assert engine.pending_events == 1
+
+    def test_double_cancel_counted_once(self, engine):
+        engine.schedule(1.0, lambda eng: None)
+        victim = engine.schedule(2.0, lambda eng: None)
+        victim.cancel()
+        victim.cancel()
+        assert engine.pending_events == 1
+
+    def test_cancel_after_execution_does_not_corrupt_count(self, engine):
+        executed = engine.schedule(1.0, lambda eng: None)
+        engine.schedule(2.0, lambda eng: None)
+        engine.run_until(1.5)
+        executed.cancel()  # already popped: must not decrement live count
+        assert engine.pending_events == 1
+
+    def test_compaction_drops_cancelled_entries(self, engine):
+        fired = []
+        events = [
+            engine.schedule(float(index + 1), lambda eng: fired.append(eng.now))
+            for index in range(100)
+        ]
+        for event in events[:60]:
+            event.cancel()
+        # Cancelled entries outnumbered live ones mid-way, so the heap
+        # must have been compacted below its original size.
+        assert len(engine._queue) < 100
+        assert engine.pending_events == 40
+        engine.run_until(200.0)
+        assert len(fired) == 40
+        assert fired == [float(index + 1) for index in range(60, 100)]
+
+    def test_compaction_preserves_order(self, engine):
+        fired = []
+        keepers = []
+        for index in range(200):
+            event = engine.schedule(
+                float(index), lambda eng, i=index: fired.append(i)
+            )
+            if index % 3 == 0:
+                keepers.append(index)
+            else:
+                event.cancel()
+        engine.run_until(500.0)
+        assert fired == keepers
+
+    def test_small_queues_skip_compaction(self, engine):
+        live = engine.schedule(1.0, lambda eng: None)
+        victim = engine.schedule(2.0, lambda eng: None)
+        victim.cancel()
+        # Below the compaction floor the cancelled entry stays in the
+        # heap (lazily skipped on pop) but is excluded from the count.
+        assert len(engine._queue) == 2
+        assert engine.pending_events == 1
+        assert not live.cancelled
+
+    def test_compaction_during_callback_is_safe(self, engine):
+        # Compaction triggered *inside* a running callback must not leave
+        # the in-progress run_until loop draining a stale heap (events
+        # would fire twice and the cancellation count would go negative).
+        fired = []
+        victims = [engine.schedule(50.0, lambda eng: None) for _ in range(70)]
+        for index in range(10):
+            engine.schedule(
+                float(index + 2), lambda eng, i=index: fired.append(i)
+            )
+
+        def cancel_many(eng):
+            for victim in victims:
+                victim.cancel()
+
+        engine.schedule(1.0, cancel_many)
+        engine.run_until(100.0)
+        assert fired == list(range(10))
+        assert engine.pending_events == 0
+        assert engine._cancelled_in_queue == 0
+        engine.run_until(200.0)
+        assert fired == list(range(10))  # nothing fired twice
+
+    def test_clear_resets_cancelled_count(self, engine):
+        event = engine.schedule(1.0, lambda eng: None)
+        event.cancel()
+        engine.clear()
+        assert engine.pending_events == 0
+        engine.schedule(2.0, lambda eng: None)
+        assert engine.pending_events == 1
+
+
 class TestRecurring:
     def test_recurring_event_fires_repeatedly(self, engine):
         fired = []
