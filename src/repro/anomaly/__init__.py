@@ -7,10 +7,22 @@ network bandwidth) with configurable intensity, duration, and timing.  This
 package provides the simulated equivalent: each anomaly consumes part of a
 node's capacity for the affected resources (or inflates offered load /
 network delay) so that co-located containers experience genuine contention.
+
+Injection is replica- and tenant-aware: each
+:class:`~repro.anomaly.anomalies.AnomalySpec` carries an
+:class:`~repro.anomaly.anomalies.AnomalyScope` deciding whether pressure
+lands on one pinned node (the historical default), one replica's node,
+every node hosting the target's live replica set, or every node a tenant
+occupies — multi-node scopes re-resolve on cluster scale events.  Actual
+pressure always covers exactly ``[start_s, end_s)``, the same window the
+ground-truth queries report, so localization and mitigation scores (see
+:mod:`repro.experiments.resilience`) are measured against a byte-aligned
+reference.
 """
 
 from repro.anomaly.anomalies import (
     ANOMALY_TYPES,
+    AnomalyScope,
     AnomalyType,
     AnomalySpec,
 )
@@ -24,6 +36,7 @@ from repro.anomaly.campaigns import (
 
 __all__ = [
     "ANOMALY_TYPES",
+    "AnomalyScope",
     "AnomalyType",
     "AnomalySpec",
     "ActiveAnomaly",

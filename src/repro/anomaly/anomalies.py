@@ -1,4 +1,4 @@
-"""Anomaly type definitions.
+"""Anomaly type and scope definitions.
 
 Each anomaly type models one of the interference generators the paper uses
 (iBench, stress-ng, pmbw, sysbench, tc, trickle, wrk2) as pressure on the
@@ -6,6 +6,10 @@ corresponding simulated resource.  Intensity is expressed in [0, 1]: the
 fraction of the target node's capacity consumed by the interfering
 workload (or, for workload variation and network delay, the relative load
 inflation / added delay).
+
+:class:`AnomalyScope` decides *where* that pressure lands relative to the
+target service — one pinned node, one replica's node, the whole live
+replica set, or every node the owning tenant occupies.
 """
 
 from __future__ import annotations
@@ -27,6 +31,32 @@ class AnomalyType(str, enum.Enum):
     MEMORY_BANDWIDTH = "memory_bandwidth"
     IO_BANDWIDTH = "io_bandwidth"
     NETWORK_BANDWIDTH = "network_bandwidth"
+
+
+class AnomalyScope(str, enum.Enum):
+    """Where an anomaly's pressure lands, relative to its target service.
+
+    ``NODE`` is the historical behaviour: the interference is pinned to the
+    node hosting the target's *first* replica, resolved once at injection
+    time.  The other scopes are replica- and tenant-aware:
+
+    * ``REPLICA`` — the node hosting one specific replica
+      (:attr:`AnomalySpec.replica_index`), re-resolved on scale events;
+    * ``SERVICE_WIDE`` — every node hosting a live replica of the target
+      service, re-resolved as the replica set scales out or in;
+    * ``TENANT`` — every node hosting a live replica of *any* service owned
+      by the target's tenant (for untenanted clusters: every deployed
+      service), re-resolved on scale events.
+
+    Multi-node scopes apply one full-intensity pressure vector **per node**
+    (an interfering workload per machine, as iBench/stress-ng campaigns run
+    one stressor per victim host).
+    """
+
+    NODE = "node"
+    REPLICA = "replica"
+    SERVICE_WIDE = "service_wide"
+    TENANT = "tenant"
 
 
 #: Canonical ordering used by campaign schedules and figures.
@@ -73,14 +103,21 @@ class AnomalySpec:
     anomaly_type:
         Which of the seven anomaly types to inject.
     target_service:
-        Service whose hosting node receives the interference.  The injector
-        resolves the service's first replica's node at injection time.
+        Service whose hosting node(s) receive the interference.  How the
+        service resolves to nodes is governed by ``scope``.
     start_s / duration_s:
-        Injection window in simulation seconds.
+        Injection window in simulation seconds.  The actual pressure window
+        and the ground truth both cover exactly ``[start_s, end_s)``.
     intensity:
         In [0, 1]: fraction of node capacity consumed (resource anomalies),
         relative load inflation (workload variation), or fraction of the
         maximum modelled delay (network delay).
+    scope:
+        Target scope (see :class:`AnomalyScope`).  The default ``NODE``
+        reproduces the historical first-replica pinning exactly.
+    replica_index:
+        Which replica's node to pressure under :attr:`AnomalyScope.REPLICA`
+        (ignored by every other scope).
     """
 
     anomaly_type: AnomalyType
@@ -88,6 +125,8 @@ class AnomalySpec:
     start_s: float
     duration_s: float
     intensity: float
+    scope: AnomalyScope = AnomalyScope.NODE
+    replica_index: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.intensity <= 1.0:
@@ -96,7 +135,10 @@ class AnomalySpec:
             raise ValueError(f"duration must be positive, got {self.duration_s}")
         if self.start_s < 0:
             raise ValueError(f"start time must be non-negative, got {self.start_s}")
+        if self.replica_index < 0:
+            raise ValueError(f"replica index must be non-negative, got {self.replica_index}")
         self.anomaly_type = AnomalyType(self.anomaly_type)
+        self.scope = AnomalyScope(self.scope)
 
     @property
     def end_s(self) -> float:

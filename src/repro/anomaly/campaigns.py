@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.anomaly.anomalies import ANOMALY_TYPES, AnomalySpec, AnomalyType
+from repro.anomaly.anomalies import ANOMALY_TYPES, AnomalyScope, AnomalySpec, AnomalyType
 from repro.sim.rng import SeededRNG
 
 
@@ -74,11 +74,13 @@ def single_anomaly_sweep(
     step_duration_s: float = 20.0,
     gap_s: float = 10.0,
     start_s: float = 10.0,
+    scope: AnomalyScope = AnomalyScope.NODE,
 ) -> AnomalyCampaign:
     """Sweep one anomaly type's intensity against one service (Fig. 9(a)).
 
     Each intensity level is injected for ``step_duration_s`` seconds with a
-    recovery gap of ``gap_s`` seconds between levels.
+    recovery gap of ``gap_s`` seconds between levels.  ``scope`` selects
+    where the pressure lands (default: the historical first-replica node).
     """
     campaign = AnomalyCampaign(name=f"sweep:{anomaly_type.value}:{target_service}")
     time = start_s
@@ -90,6 +92,7 @@ def single_anomaly_sweep(
                 start_s=time,
                 duration_s=step_duration_s,
                 intensity=float(intensity),
+                scope=scope,
             )
         )
         time += step_duration_s + gap_s
@@ -103,12 +106,15 @@ def multi_anomaly_campaign(
     window_s: float = 10.0,
     anomaly_types: Sequence[AnomalyType] = ANOMALY_TYPES,
     start_s: float = 5.0,
+    scope: AnomalyScope = AnomalyScope.NODE,
 ) -> AnomalyCampaign:
     """Multi-anomaly campaign in fixed windows (Fig. 9(b)/(c)).
 
     In each window every anomaly type draws an intensity uniformly at random
     in [0, 1] and a target service uniformly at random; intensities below
-    0.05 are skipped (effectively "off" for that window).
+    0.05 are skipped (effectively "off" for that window).  ``scope``
+    selects where each injection's pressure lands; the RNG draws are
+    identical across scopes, so the same seed yields the same schedule.
     """
     campaign = AnomalyCampaign(name="multi-anomaly")
     stream = rng.stream("campaign:multi")
@@ -126,6 +132,7 @@ def multi_anomaly_campaign(
                     start_s=window_start,
                     duration_s=window_s,
                     intensity=intensity,
+                    scope=scope,
                 )
             )
     return campaign
@@ -141,12 +148,14 @@ def random_campaign(
     anomaly_types: Sequence[AnomalyType] = ANOMALY_TYPES,
     min_intensity: float = 0.3,
     start_s: float = 5.0,
+    scope: AnomalyScope = AnomalyScope.NODE,
 ) -> AnomalyCampaign:
     """Random anomaly arrivals (the §4.1 injection baseline).
 
     Anomaly inter-arrival times are exponential with rate ``rate_per_s``
     (λ = 0.33 /s in the paper); type, target, duration, and intensity are
-    drawn uniformly at random.
+    drawn uniformly at random.  ``scope`` selects where each injection's
+    pressure lands; the RNG draws are identical across scopes.
     """
     campaign = AnomalyCampaign(name="random")
     stream = rng.stream("campaign:random")
@@ -167,6 +176,7 @@ def random_campaign(
                 start_s=time,
                 duration_s=duration,
                 intensity=intensity,
+                scope=scope,
             )
         )
     return campaign

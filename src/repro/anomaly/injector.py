@@ -1,47 +1,84 @@
 """Performance anomaly injector.
 
 Schedules :class:`~repro.anomaly.anomalies.AnomalySpec` injections against
-the simulated cluster.  Resource anomalies add pressure to the node hosting
-the target service for the injection window; workload-variation anomalies
-temporarily multiply the workload generator's offered rate; network-delay
-anomalies add latency to the target service's spans by inflating its node's
-network pressure.
+the simulated cluster.  Resource anomalies add pressure to the node(s)
+resolved by the spec's :class:`~repro.anomaly.anomalies.AnomalyScope` for
+the injection window; workload-variation anomalies temporarily multiply
+the workload generator's offered rate; network-delay anomalies add latency
+to the target service's spans by inflating its node's network pressure.
 
-The injector keeps a full audit log so experiments can use it as ground
-truth for localization accuracy (Fig. 9) and for RL training labels.
+The injector is replica- and tenant-aware: multi-node scopes
+(``service_wide``, ``tenant``) apply one pressure vector per node across
+the target's *live* replica set and re-resolve their node sets when the
+cluster scales the target out or in (via the cluster's scale listeners, the
+same refresh channel the request router uses).  The default ``node`` scope
+reproduces the historical behaviour — pressure pinned to the first
+replica's node, resolved once — byte for byte.
+
+Timing contract: pressure is applied over exactly ``[start_s, end_s)``
+(clamped to the present for late-registered specs), so the audit log, the
+node-pressure timeline, and :meth:`ground_truth_services` always agree —
+experiments score localization accuracy (Fig. 9) and mitigation against
+this ground truth.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
-from repro.anomaly.anomalies import AnomalySpec, AnomalyType
+from repro.anomaly.anomalies import AnomalyScope, AnomalySpec, AnomalyType
 from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.cluster.resources import ResourceVector
 from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event
 from repro.workload.generators import WorkloadGenerator
 from repro.workload.patterns import ArrivalPattern
+
+#: Scopes whose node sets must be re-resolved on cluster scale events.
+_DYNAMIC_SCOPES = (AnomalyScope.REPLICA, AnomalyScope.SERVICE_WIDE, AnomalyScope.TENANT)
 
 
 @dataclass
 class ActiveAnomaly:
-    """Bookkeeping for an injected (possibly still active) anomaly."""
+    """Bookkeeping for an injected (possibly still active) anomaly.
+
+    ``node``/``pressure`` describe the *primary* target (the first node the
+    pressure landed on — for the default ``node`` scope, the only one);
+    multi-node scopes record every ``(node, pressure)`` pair in
+    :attr:`applied`.
+    """
 
     spec: AnomalySpec
     node: Optional[Node]
     pressure: ResourceVector
     injected_at: float
     removed_at: Optional[float] = None
+    #: Every node currently (or, after the anomaly ended, last) under this
+    #: anomaly's pressure, with the per-node pressure vector applied to it.
+    applied: List[Tuple[Node, ResourceVector]] = field(default_factory=list)
+    _start_event: Optional[Event] = field(default=None, init=False, repr=False)
+    _end_event: Optional[Event] = field(default=None, init=False, repr=False)
 
     @property
     def is_active(self) -> bool:
         return self.removed_at is None
 
+    def nodes(self) -> List[Node]:
+        """All nodes this anomaly is applying pressure to."""
+        return [node for node, _ in self.applied]
+
 
 class _InflatedPattern(ArrivalPattern):
-    """Wraps an arrival pattern, multiplying the rate during active windows."""
+    """Wraps an arrival pattern, multiplying the rate during active windows.
+
+    Windows are pruned as they expire: adding a window drops every window
+    that ended at or before the new one's start (queries only ever move
+    forward in time), so a long campaign keeps the scan in :meth:`rate_at`
+    bounded by the number of *concurrently* active windows instead of every
+    window ever added.
+    """
 
     def __init__(self, inner: ArrivalPattern) -> None:
         self.inner = inner
@@ -49,6 +86,8 @@ class _InflatedPattern(ArrivalPattern):
         self.windows: List[List[float]] = []
 
     def add_window(self, start: float, end: float, multiplier: float) -> None:
+        if self.windows:
+            self.windows = [window for window in self.windows if window[1] > start]
         self.windows.append([start, end, multiplier])
 
     def rate_at(self, time_s: float) -> float:
@@ -65,7 +104,10 @@ class PerformanceAnomalyInjector:
     Parameters
     ----------
     cluster:
-        Target cluster.
+        Target cluster — the shared :class:`~repro.cluster.cluster.Cluster`
+        or one tenant's :class:`~repro.cluster.cluster.TenantClusterView`
+        (tenant-scoped injections then cover exactly that tenant's
+        services).
     engine:
         Shared simulation engine.
     workload:
@@ -86,12 +128,22 @@ class PerformanceAnomalyInjector:
         self.engine = engine
         self.workload = workload
         self.log: List[ActiveAnomaly] = []
+        #: Active records with a dynamic scope (re-resolved on scale events).
+        self._dynamic: List[ActiveAnomaly] = []
+        self._listening = False
         if workload is not None and not isinstance(workload.pattern, _InflatedPattern):
             workload.pattern = _InflatedPattern(workload.pattern)
 
     # ------------------------------------------------------------ scheduling
     def schedule(self, spec: AnomalySpec) -> ActiveAnomaly:
-        """Schedule one injection; returns its bookkeeping record."""
+        """Schedule one injection; returns its bookkeeping record.
+
+        Late registrations are clamped to the spec's own window: a spec
+        whose window already started begins immediately but still ends at
+        ``spec.end_s``; a spec whose window fully passed is never applied.
+        Either way actual pressure covers ``[start_s, end_s) ∩ [now, ∞)``,
+        in agreement with :meth:`ground_truth_services`.
+        """
         record = ActiveAnomaly(
             spec=spec,
             node=None,
@@ -99,10 +151,16 @@ class PerformanceAnomalyInjector:
             injected_at=spec.start_s,
         )
         self.log.append(record)
-        if spec.start_s <= self.engine.now:
+        now = self.engine.now
+        if spec.end_s <= now:
+            # The whole window is in the past: nothing is injected, and
+            # the removal time pins the effective window empty so ground
+            # truth never reports pressure that was never applied.
+            record.removed_at = spec.start_s
+        elif spec.start_s <= now:
             self._begin(record)
         else:
-            self.engine.schedule(
+            record._start_event = self.engine.schedule(
                 spec.start_s, lambda eng: self._begin(record), name=f"anomaly-start:{spec.anomaly_type.value}"
             )
         return record
@@ -113,25 +171,33 @@ class PerformanceAnomalyInjector:
 
     # ------------------------------------------------------------- lifecycle
     def _begin(self, record: ActiveAnomaly) -> None:
+        record._start_event = None
+        if record.removed_at is not None:  # cleared before the start fired
+            return
         spec = record.spec
         if spec.anomaly_type is AnomalyType.WORKLOAD_VARIATION:
             self._begin_workload_variation(record)
         else:
             self._begin_resource_pressure(record)
-        self.engine.schedule_after(
-            spec.duration_s, lambda eng: self._end(record), name=f"anomaly-end:{spec.anomaly_type.value}"
+        if record.removed_at is not None:
+            return
+        record._end_event = self.engine.schedule(
+            spec.end_s, lambda eng: self._end(record), name=f"anomaly-end:{spec.anomaly_type.value}"
         )
 
     def _begin_resource_pressure(self, record: ActiveAnomaly) -> None:
         spec = record.spec
-        node = self._resolve_node(spec.target_service)
-        if node is None:
+        nodes = self._resolve_nodes(spec)
+        if not nodes:
             record.removed_at = self.engine.now
             return
-        pressure = spec.pressure_vector(node.capacity)
-        node.inject_pressure(pressure)
-        record.node = node
-        record.pressure = pressure
+        for node in nodes:
+            pressure = spec.pressure_vector(node.capacity)
+            node.inject_pressure(pressure)
+            record.applied.append((node, pressure))
+        record.node, record.pressure = record.applied[0]
+        if spec.scope in _DYNAMIC_SCOPES:
+            self._track_dynamic(record)
 
     def _begin_workload_variation(self, record: ActiveAnomaly) -> None:
         spec = record.spec
@@ -143,14 +209,62 @@ class PerformanceAnomalyInjector:
             pattern = _InflatedPattern(pattern)
             self.workload.pattern = pattern
         multiplier = 1.0 + spec.intensity * (self.MAX_LOAD_MULTIPLIER - 1.0)
-        pattern.add_window(self.engine.now, self.engine.now + spec.duration_s, multiplier)
+        # Clamped to the spec's own end, so a late-registered variation
+        # inflates load for the remainder of its window, not a full
+        # duration beyond it.
+        pattern.add_window(self.engine.now, spec.end_s, multiplier)
 
     def _end(self, record: ActiveAnomaly) -> None:
+        record._end_event = None
         if record.removed_at is not None:
             return
-        if record.node is not None:
-            record.node.remove_pressure(record.pressure)
+        for node, pressure in record.applied:
+            node.remove_pressure(pressure)
         record.removed_at = self.engine.now
+
+    # --------------------------------------------------- target resolution
+    def _scope_services(self, spec: AnomalySpec) -> List[str]:
+        """The services whose replica nodes the spec's scope covers."""
+        if spec.scope is not AnomalyScope.TENANT:
+            return [spec.target_service]
+        cluster = self.cluster
+        tenant_of = getattr(cluster, "tenant_of", None)
+        if tenant_of is None:
+            # A TenantClusterView: services() is already tenant-scoped.
+            return cluster.services()
+        tenant = tenant_of(spec.target_service)
+        if tenant is not None:
+            return cluster.services(tenant=tenant)
+        return [name for name in cluster.services() if tenant_of(name) is None]
+
+    def _resolve_nodes(
+        self, spec: AnomalySpec, services: Optional[List[str]] = None
+    ) -> List[Node]:
+        """The live node set the spec's scope resolves to (deduplicated).
+
+        ``services`` short-circuits :meth:`_scope_services` when the
+        caller already resolved the scope's service list.
+        """
+        if spec.scope is AnomalyScope.NODE:
+            node = self._resolve_node(spec.target_service)
+            return [node] if node is not None else []
+        if spec.scope is AnomalyScope.REPLICA:
+            replicas = self.cluster.replicas_of(spec.target_service)
+            if spec.replica_index >= len(replicas):
+                return []
+            node = replicas[spec.replica_index].container.node
+            return [node] if node is not None else []
+        if services is None:
+            services = self._scope_services(spec)
+        nodes: List[Node] = []
+        seen = set()
+        for service in services:
+            for instance in self.cluster.replicas_of(service):
+                node = instance.container.node
+                if node is not None and id(node) not in seen:
+                    seen.add(id(node))
+                    nodes.append(node)
+        return nodes
 
     def _resolve_node(self, service_name: str) -> Optional[Node]:
         replicas = self.cluster.replicas_of(service_name)
@@ -158,27 +272,162 @@ class PerformanceAnomalyInjector:
             return None
         return replicas[0].container.node
 
+    # --------------------------------------------------- scale-event refresh
+    def _track_dynamic(self, record: ActiveAnomaly) -> None:
+        """Register a record for re-resolution on cluster scale events."""
+        self._dynamic.append(record)
+        if self._listening:
+            return
+        add_listener = getattr(self.cluster, "add_scale_listener", None)
+        if add_listener is not None:
+            add_listener(self._on_scale_event)
+            self._listening = True
+
+    def _on_scale_event(self, service_name: str, instance, added: bool) -> None:
+        """Cluster hook: a replica of ``service_name`` was added/removed."""
+        if not self._dynamic:
+            return
+        self._dynamic = [record for record in self._dynamic if record.is_active]
+        for record in self._dynamic:
+            services = self._scope_services(record.spec)
+            if service_name in services:
+                self._refresh(record, services)
+
+    def _refresh(
+        self, record: ActiveAnomaly, services: Optional[List[str]] = None
+    ) -> None:
+        """Re-resolve one record's node set against the live replica set.
+
+        Pressure is removed from nodes no longer hosting a target replica
+        and applied to newly hosting nodes; nodes in both sets keep their
+        original pressure vector untouched.
+        """
+        desired = self._resolve_nodes(record.spec, services=services)
+        desired_ids = {id(node) for node in desired}
+        kept: List[Tuple[Node, ResourceVector]] = []
+        for node, pressure in record.applied:
+            if id(node) in desired_ids:
+                kept.append((node, pressure))
+            else:
+                node.remove_pressure(pressure)
+        current_ids = {id(node) for node, _ in kept}
+        for node in desired:
+            if id(node) not in current_ids:
+                pressure = record.spec.pressure_vector(node.capacity)
+                node.inject_pressure(pressure)
+                kept.append((node, pressure))
+        record.applied = kept
+        record.node, record.pressure = (
+            kept[0] if kept else (None, ResourceVector())
+        )
+
     # ---------------------------------------------------------------- queries
     def active_anomalies(self) -> List[ActiveAnomaly]:
         """Anomalies currently applying pressure."""
         return [record for record in self.log if record.is_active and record.injected_at <= self.engine.now]
 
+    def injected_node_names(self, min_intensity: float = 0.0) -> List[str]:
+        """Names of nodes currently under injection at/above ``min_intensity``.
+
+        Covers every node of multi-node scopes; used (alongside
+        :meth:`ground_truth_services`) as localization ground truth, since
+        services co-located on an injected node are genuine victims.
+        """
+        names: List[str] = []
+        seen = set()
+        for record in self.active_anomalies():
+            if record.spec.intensity < min_intensity:
+                continue
+            for node in record.nodes():
+                if node.name not in seen:
+                    seen.add(node.name)
+                    names.append(node.name)
+        return names
+
     def ground_truth_services(self, at_time: Optional[float] = None) -> List[str]:
         """Services targeted by anomalies active at ``at_time`` (default: now).
 
-        Used as ground truth when scoring localization accuracy.
+        Used as ground truth when scoring localization accuracy.  Windows
+        are half-open ``[start_s, end_s)`` — exactly the interval actual
+        pressure is applied over: a record removed early (``clear()``, or
+        a target that never resolved) has its window truncated at the
+        removal time, so ground truth never outlives real pressure.
         """
         time = self.engine.now if at_time is None else at_time
         services: List[str] = []
         for record in self.log:
             spec = record.spec
-            if spec.start_s <= time < spec.end_s and spec.target_service not in services:
+            if spec.start_s <= time < self._effective_end(record) and spec.target_service not in services:
                 services.append(spec.target_service)
         return services
 
-    def clear(self) -> None:
-        """Remove all active pressure immediately (end of an experiment)."""
+    @staticmethod
+    def _effective_end(record: ActiveAnomaly) -> float:
+        """End of the record's *actual* pressure window.
+
+        ``spec.end_s`` for records that ran (or will run) their full
+        window; the removal time for records ended early (``clear()``) or
+        never applied (unresolvable target, fully-past registration).
+        """
+        end = record.spec.end_s
+        if record.removed_at is not None and record.removed_at < end:
+            return record.removed_at
+        return end
+
+    def ground_truth_window(
+        self, start_s: float, end_s: float, min_intensity: float = 0.0
+    ) -> Tuple[List[str], List[str]]:
+        """Ground truth over the analysis window ``[start_s, end_s)``.
+
+        Returns ``(target_services, injected_node_names)`` of every
+        injection at/above ``min_intensity`` whose *actual* pressure
+        window overlapped the analysis window — the reference the
+        resilience scoreboard scores localization against.
+        """
+        targets: List[str] = []
+        node_names: List[str] = []
+        seen_nodes = set()
         for record in self.log:
-            if record.is_active and record.node is not None:
-                record.node.remove_pressure(record.pressure)
-                record.removed_at = self.engine.now
+            spec = record.spec
+            if spec.intensity < min_intensity:
+                continue
+            if spec.start_s >= end_s or self._effective_end(record) <= start_s:
+                continue
+            if spec.target_service not in targets:
+                targets.append(spec.target_service)
+            for node in record.nodes():
+                if node.name not in seen_nodes:
+                    seen_nodes.add(node.name)
+                    node_names.append(node.name)
+        return targets, node_names
+
+    def clear(self) -> None:
+        """Remove all pressure and cancel pending begin/end events.
+
+        Safe mid-campaign: outstanding ``anomaly-start`` events are
+        cancelled too, so a begin scheduled before ``clear()`` can never
+        fire afterwards and re-apply pressure nobody removes; active
+        workload-variation windows are truncated at the present so the
+        inflated offered rate stops with everything else.
+        """
+        now = self.engine.now
+        for record in self.log:
+            if record._start_event is not None:
+                record._start_event.cancel()
+                record._start_event = None
+            if record._end_event is not None:
+                record._end_event.cancel()
+                record._end_event = None
+            if record.is_active:
+                for node, pressure in record.applied:
+                    node.remove_pressure(pressure)
+                record.removed_at = now
+        if self.workload is not None:
+            pattern = self.workload.pattern
+            if isinstance(pattern, _InflatedPattern):
+                pattern.windows = [
+                    [start, min(end, now), multiplier]
+                    for start, end, multiplier in pattern.windows
+                    if start < now
+                ]
+        self._dynamic = []

@@ -7,6 +7,9 @@ Usage::
     python -m repro.cli run table6
     python -m repro.cli run interference --preset aggressor_victim
     python -m repro.cli run routing --preset interference --policies jiq,p2c
+    python -m repro.cli run resilience --preset multi_anomaly
+    python -m repro.cli sweep --campaigns single_sweep,random \
+        --controllers firm,aimd,none --workers 2
     python -m repro.cli compare --application social_network --duration 120
     python -m repro.cli sweep --application social_network \
         --seeds 0,1,2 --controllers firm,aimd --workers 2
@@ -138,6 +141,23 @@ def _run_interference(args: argparse.Namespace):
     return run_interference(preset=preset, **kwargs).as_dict()
 
 
+def _run_resilience(args: argparse.Namespace):
+    """Run a resilience preset; omitted flags keep the preset defaults."""
+    from repro.experiments.resilience import run_resilience
+
+    preset = getattr(args, "preset", None) or "multi_anomaly"
+    outcome = run_resilience(
+        preset=preset,
+        seed=getattr(args, "seed", 0),
+        duration_s=args.duration,
+        load_rps=args.load,
+        application=args.application,
+        controller=getattr(args, "controller", None),
+        scope=getattr(args, "scope", None),
+    )
+    return outcome.as_dict()
+
+
 def _run_routing_experiment(args: argparse.Namespace):
     """Compare routing policies; omitted flags keep the preset defaults."""
     from repro.experiments.routing import DEFAULT_POLICIES, run_routing
@@ -173,6 +193,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig10": _run_fig10,
     "fig11": _run_fig11,
     "interference": _run_interference,
+    "resilience": _run_resilience,
     "routing": _run_routing_experiment,
     "table1": _run_table1,
     "table6": _run_table6,
@@ -202,7 +223,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--preset", default=None,
         help="interference preset (aggressor_victim, noisy_neighbor_ramp, "
-        "identical_tenants) or routing preset (anomaly, interference)",
+        "identical_tenants), routing preset (anomaly, interference), or "
+        "resilience preset (single_sweep, multi_anomaly, random, "
+        "multi_tenant)",
+    )
+    run_parser.add_argument(
+        "--controller", default=None,
+        help="resource controller for the resilience experiment "
+        "(firm, firm_multi, kubernetes_hpa, aimd, none)",
+    )
+    run_parser.add_argument(
+        "--scope", default=None,
+        help="anomaly target scope for the resilience experiment "
+        "(node, replica, service_wide, tenant)",
     )
     run_parser.add_argument(
         "--tenants", type=int, default=None,
@@ -268,6 +301,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated load-balancing policies; crosses the grid "
         "with routing regimes (least_in_flight, round_robin, random, "
         "power_of_two_choices, ewma_latency, join_the_idle_queue)",
+    )
+    sweep_parser.add_argument(
+        "--campaigns", default=None,
+        help="comma-separated anomaly campaign kinds (single_sweep, "
+        "multi_anomaly, random); switches to the resilience grid — "
+        "controllers x campaigns x applications x seeds, scored on "
+        "localization precision/recall and mitigation",
+    )
+    sweep_parser.add_argument(
+        "--scope", default=None,
+        help="anomaly target scope for the resilience grid "
+        "(node, replica, service_wide, tenant; default service_wide)",
     )
     sweep_parser.add_argument("--out", default=None, help="write the JSON result to this path")
 
@@ -340,6 +385,40 @@ def _run_sweep(args: argparse.Namespace):
     )
     if args.placement is not None:
         PlacementPolicy(args.placement)
+
+    if getattr(args, "campaigns", None):
+        # Resilience grid: controllers x campaigns x applications x seeds,
+        # scored on localization precision/recall and mitigation metrics.
+        from repro.experiments.resilience import (
+            resilience_sweep_grid,
+            run_resilience_sweep,
+        )
+
+        case_overrides: Dict[str, Any] = {}
+        if args.duration is not None:
+            case_overrides["duration_s"] = args.duration
+        if getattr(args, "scope", None):
+            case_overrides["scope"] = args.scope
+        cases = []
+        for load in _csv_list(args.loads, float):
+            cases.extend(
+                resilience_sweep_grid(
+                    controllers=_csv_list(args.controllers),
+                    campaigns=_csv_list(args.campaigns),
+                    applications=_csv_list(args.application),
+                    seeds=_csv_list(args.seeds, int),
+                    load_rps=load,
+                    **case_overrides,
+                )
+            )
+
+        def _case_progress(done: int, total: int, outcome) -> None:
+            print(f"[{done}/{total}] {outcome.case_id}", file=sys.stderr)
+
+        outcomes = run_resilience_sweep(
+            cases, workers=args.workers, progress=_case_progress
+        )
+        return [outcome.as_dict() for outcome in outcomes]
 
     if routing_policies is not None:
         # Routing sweep: policies x controllers x tenant counts (tenant
@@ -482,10 +561,10 @@ def main(argv=None) -> int:
     elif args.command == "sweep":
         payload = _run_sweep(args)
     else:
-        if args.experiment not in ("interference", "routing"):
-            # Classic experiments get the historical defaults; interference
-            # and routing resolve omitted flags against their presets' own
-            # defaults.
+        if args.experiment not in ("interference", "resilience", "routing"):
+            # Classic experiments get the historical defaults; interference,
+            # resilience, and routing resolve omitted flags against their
+            # presets' own defaults.
             if args.duration is None:
                 args.duration = 90.0
             if args.load is None:

@@ -23,7 +23,7 @@ can swap balancers without touching the cluster or the runtimes.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.container import Container
 from repro.cluster.instance import MicroserviceInstance, ServiceProfile
@@ -77,6 +77,12 @@ class Cluster:
 
         #: Pluggable request router (policy resolution + decision audit).
         self.router = RequestRouter(self, default_policy=routing or DEFAULT_POLICY)
+        #: Scale listeners, invoked as ``listener(service_name, instance,
+        #: added)`` after every replica addition (deploys and scale-outs
+        #: alike) and removal.  The anomaly injector uses this channel to
+        #: re-resolve multi-node injection targets as replica sets change,
+        #: the same way the router re-reads the live replica set.
+        self._scale_listeners: List[Callable[[str, MicroserviceInstance, bool], None]] = []
 
     # ------------------------------------------------------------- topology
     @staticmethod
@@ -152,6 +158,8 @@ class Cluster:
         )
         self._replicas[profile.name].append(instance)
         self.router.instrument(instance)
+        for listener in self._scale_listeners:
+            listener(profile.name, instance, True)
         return instance
 
     def _pick_node(self, limits: Optional[ResourceLimits]) -> Node:
@@ -166,6 +174,23 @@ class Cluster:
         node = instance.container.node
         if node is not None:
             node.remove_container(instance.container)
+        for listener in self._scale_listeners:
+            listener(instance.profile.name, instance, False)
+
+    # ------------------------------------------------------- scale listeners
+    def add_scale_listener(
+        self, listener: Callable[[str, MicroserviceInstance, bool], None]
+    ) -> None:
+        """Register a hook fired after every replica addition or removal."""
+        if listener not in self._scale_listeners:
+            self._scale_listeners.append(listener)
+
+    def remove_scale_listener(
+        self, listener: Callable[[str, MicroserviceInstance, bool], None]
+    ) -> None:
+        """Deregister a previously added scale listener (no-op if absent)."""
+        if listener in self._scale_listeners:
+            self._scale_listeners.remove(listener)
 
     # --------------------------------------------------------------- queries
     def services(self, tenant: Optional[str] = None) -> List[str]:
@@ -320,6 +345,13 @@ class TenantClusterView:
 
     def node_by_name(self, name: str) -> Node:
         return self.cluster.node_by_name(name)
+
+    def add_scale_listener(self, listener) -> None:
+        """Scale events are cluster-wide; listeners filter by service name."""
+        self.cluster.add_scale_listener(listener)
+
+    def remove_scale_listener(self, listener) -> None:
+        self.cluster.remove_scale_listener(listener)
 
     def total_capacity(self) -> ResourceVector:
         return self.cluster.total_capacity()

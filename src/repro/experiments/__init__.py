@@ -14,14 +14,26 @@ from repro.experiments.harness import (
     TenantResult,
     TenantRuntime,
 )
+from repro.experiments.resilience import (
+    ResilienceCase,
+    ResilienceOutcome,
+    resilience_sweep_grid,
+    run_resilience,
+    run_resilience_sweep,
+)
 from repro.experiments.scenario import ScenarioSpec, TenantSpec, run_scenario
 
 __all__ = [
     "ExperimentHarness",
     "ExperimentResult",
+    "ResilienceCase",
+    "ResilienceOutcome",
     "TenantResult",
     "TenantRuntime",
     "ScenarioSpec",
     "TenantSpec",
     "run_scenario",
+    "resilience_sweep_grid",
+    "run_resilience",
+    "run_resilience_sweep",
 ]

@@ -246,17 +246,23 @@ def random_campaign_builder(
     rate_per_s: float = 0.33,
     min_intensity: float = 0.3,
     resource_only: bool = False,
+    scope: Optional[str] = None,
+    start_s: float = 5.0,
 ):
     """The canonical picklable ``campaign_builder`` for random injection.
 
     Use with :func:`functools.partial` to bind parameters into a spec;
     ``resource_only`` excludes workload-variation anomalies (the §4.1
-    baseline-comparison setting).  ``harness`` may be either a full
-    :class:`~repro.experiments.harness.ExperimentHarness` or one tenant's
-    :class:`~repro.experiments.harness.TenantRuntime` — both expose the
-    ``.app`` and ``.rng`` this builder needs, so the same builder serves
-    single- and multi-tenant specs.
+    baseline-comparison setting) and ``scope`` selects each injection's
+    :class:`~repro.anomaly.anomalies.AnomalyScope` (None keeps the
+    historical first-replica ``node`` scope).  ``harness`` may be either a
+    full :class:`~repro.experiments.harness.ExperimentHarness` or one
+    tenant's :class:`~repro.experiments.harness.TenantRuntime` — both
+    expose the ``.app`` and ``.rng`` this builder needs, so the same
+    builder serves single- and multi-tenant specs.
     """
+    from repro.anomaly.anomalies import AnomalyScope
+
     anomaly_types = (
         [a for a in ANOMALY_TYPES if a is not AnomalyType.WORKLOAD_VARIATION]
         if resource_only
@@ -269,4 +275,6 @@ def random_campaign_builder(
         rate_per_s=rate_per_s,
         min_intensity=min_intensity,
         anomaly_types=anomaly_types,
+        scope=AnomalyScope.NODE if scope is None else AnomalyScope(scope),
+        start_s=start_s,
     )

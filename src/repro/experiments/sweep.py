@@ -255,6 +255,42 @@ def _run_one(spec: ScenarioSpec) -> SweepOutcome:
     )
 
 
+def run_parallel(
+    items: Iterable,
+    worker: Callable,
+    workers: int = 1,
+    progress: Optional[Callable[[int, int, Any], None]] = None,
+) -> List:
+    """Run ``worker(item)`` for every item, optionally across processes.
+
+    The generic engine behind :func:`run_sweep` (and the resilience
+    sweep): results come back **in input order** regardless of which
+    worker finished first, and ``progress(done_count, total, outcome)``
+    fires in the parent process as each item completes (in input order).
+    ``worker`` must be a picklable module-level callable; workers use the
+    ``spawn`` start method so no parent-process state (RNG, request-id
+    counters) leaks into the runs.
+    """
+    item_list = list(items)
+    total = len(item_list)
+    outcomes: List = []
+    if workers <= 1 or total <= 1:
+        for index, item in enumerate(item_list):
+            outcome = worker(item)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(index + 1, total, outcome)
+        return outcomes
+
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(workers, total)) as pool:
+        for index, outcome in enumerate(pool.imap(worker, item_list, chunksize=1)):
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(index + 1, total, outcome)
+    return outcomes
+
+
 def run_sweep(
     specs: Iterable[ScenarioSpec],
     workers: int = 1,
@@ -266,21 +302,4 @@ def run_sweep(
     given.  ``progress(done_count, total, outcome)`` is invoked in the
     parent process as each scenario finishes (in input order).
     """
-    spec_list = list(specs)
-    total = len(spec_list)
-    outcomes: List[SweepOutcome] = []
-    if workers <= 1 or total <= 1:
-        for index, spec in enumerate(spec_list):
-            outcome = _run_one(spec)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(index + 1, total, outcome)
-        return outcomes
-
-    context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=min(workers, total)) as pool:
-        for index, outcome in enumerate(pool.imap(_run_one, spec_list, chunksize=1)):
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(index + 1, total, outcome)
-    return outcomes
+    return run_parallel(specs, _run_one, workers=workers, progress=progress)

@@ -11,7 +11,10 @@ different slice of the stack:
   the multi-tenant interference shape;
 * ``routing_ewma_sweep`` — replicated services routed by ``ewma_latency``
   under random anomalies, the routing-subsystem shape (policy state,
-  completion listeners, span tags).
+  completion listeners, span tags);
+* ``resilience_campaign`` — dense service-wide anomaly arrivals over a
+  replicated application, the anomaly-subsystem shape (multi-node target
+  resolution, per-node pressure, scale-event refresh).
 
 Benchmarks are defined declaratively through
 :class:`~repro.experiments.scenario.ScenarioSpec` so the timed code path
@@ -95,6 +98,12 @@ def _routing_ewma_sweep(duration_s: float) -> List[ScenarioSpec]:
     )
 
 
+def _resilience_campaign(duration_s: float) -> List[ScenarioSpec]:
+    from repro.experiments.resilience import campaign_macro_spec
+
+    return [campaign_macro_spec(duration_s, seed=0)]
+
+
 MACRO_BENCHMARKS: Dict[str, MacroBenchmark] = {
     benchmark.name: benchmark
     for benchmark in (
@@ -118,6 +127,13 @@ MACRO_BENCHMARKS: Dict[str, MacroBenchmark] = {
             full_duration_s=15.0,
             quick_duration_s=5.0,
             build_specs=_routing_ewma_sweep,
+        ),
+        MacroBenchmark(
+            name="resilience_campaign",
+            description="dense service-wide anomaly campaign over replicated services",
+            full_duration_s=15.0,
+            quick_duration_s=5.0,
+            build_specs=_resilience_campaign,
         ),
     )
 }

@@ -7,6 +7,7 @@ import pytest
 from repro.anomaly.anomalies import (
     ANOMALY_RESOURCE,
     ANOMALY_TYPES,
+    AnomalyScope,
     AnomalySpec,
     AnomalyType,
 )
@@ -85,10 +86,73 @@ class TestInjector:
     def test_immediate_start_when_time_passed(self, setup):
         cluster, engine, injector = setup
         engine.run_until(10.0)
-        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=1.0, duration_s=5.0, intensity=0.5)
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=1.0, duration_s=15.0, intensity=0.5)
         injector.schedule(spec)
         node = cluster.replicas_of("cpu-service")[0].container.node
         assert node.injected_pressure[Resource.CPU] > 0
+
+    def test_late_schedule_ends_at_spec_end_not_now_plus_duration(self, setup):
+        # Regression: a late-registered anomaly used to stay active until
+        # now + duration_s while ground truth used [start_s, end_s).
+        cluster, engine, injector = setup
+        engine.run_until(10.0)
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=1.0, duration_s=15.0, intensity=0.5)
+        injector.schedule(spec)
+        node = cluster.replicas_of("cpu-service")[0].container.node
+        engine.run_until(15.9)
+        assert node.injected_pressure[Resource.CPU] > 0
+        assert injector.ground_truth_services() == ["cpu-service"]
+        engine.run_until(16.1)  # spec.end_s == 16.0 < 10.0 + 15.0
+        assert node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+        assert injector.ground_truth_services() == []
+
+    def test_fully_past_window_never_applies_pressure(self, setup):
+        cluster, engine, injector = setup
+        engine.run_until(10.0)
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=1.0, duration_s=5.0, intensity=0.5)
+        record = injector.schedule(spec)
+        node = cluster.replicas_of("cpu-service")[0].container.node
+        assert node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+        assert not record.is_active
+        assert injector.ground_truth_services() == []
+        # No pressure was ever applied, so ground truth is empty even for
+        # historical queries inside the spec's nominal window.
+        assert injector.ground_truth_services(at_time=3.0) == []
+
+    def test_ground_truth_window_matches_actual_pressure(self, setup):
+        cluster, engine, injector = setup
+        injector.schedule(
+            AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=5.0, duration_s=10.0, intensity=0.8)
+        )
+        engine.run_until(30.0)
+        node_name = cluster.replicas_of("cpu-service")[0].container.node.name
+        # Overlapping windows see the injection (and its node)...
+        targets, nodes = injector.ground_truth_window(0.0, 10.0)
+        assert targets == ["cpu-service"]
+        assert nodes == [node_name]
+        assert injector.ground_truth_window(10.0, 20.0)[0] == ["cpu-service"]
+        # ... windows outside [start_s, end_s) do not.
+        assert injector.ground_truth_window(15.0, 25.0) == ([], [])
+        assert injector.ground_truth_window(0.0, 5.0) == ([], [])
+        # The intensity floor filters insignificant injections.
+        assert injector.ground_truth_window(0.0, 10.0, min_intensity=0.9) == ([], [])
+
+    def test_late_registered_campaign_pressure_matches_ground_truth(self, setup):
+        # Score a whole late-registered campaign: at every probe time the
+        # node is pressured iff ground truth names the service.
+        cluster, engine, injector = setup
+        engine.run_until(12.0)
+        campaign = single_anomaly_sweep(
+            AnomalyType.CPU_UTILIZATION, "cpu-service", [0.4, 0.6, 0.8],
+            step_duration_s=10.0, gap_s=5.0, start_s=5.0,
+        )
+        injector.schedule_all(campaign.specs)
+        node = cluster.replicas_of("cpu-service")[0].container.node
+        for probe in (12.5, 14.0, 16.0, 21.0, 24.0, 31.0, 36.0, 41.0, 46.0, 51.0):
+            engine.run_until(probe)
+            truth = campaign.ground_truth(probe)
+            pressured = node.injected_pressure[Resource.CPU] > 0
+            assert pressured == (truth == ["cpu-service"]), f"disagreement at t={probe}"
 
     def test_unknown_target_is_noop(self, setup):
         cluster, engine, injector = setup
@@ -125,6 +189,57 @@ class TestInjector:
         node = cluster.replicas_of("cpu-service")[0].container.node
         assert node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
 
+    def test_clear_truncates_ground_truth_at_removal_time(self, setup):
+        # Ground truth must never outlive actual pressure: a mid-window
+        # clear() ends the record's ground-truth window at the clear time.
+        cluster, engine, injector = setup
+        injector.schedule(
+            AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=10.0, duration_s=20.0, intensity=0.5)
+        )
+        engine.run_until(15.0)
+        assert injector.ground_truth_services() == ["cpu-service"]
+        injector.clear()
+        engine.run_until(25.0)
+        assert injector.ground_truth_services() == []
+        # Historical queries inside the actually-pressured interval still
+        # report the injection.
+        assert injector.ground_truth_services(at_time=12.0) == ["cpu-service"]
+
+    def test_clear_truncates_workload_inflation(self, cluster, engine, rng):
+        from repro.apps.catalog import social_network
+        from repro.apps.runtime import ApplicationRuntime
+        from repro.tracing.coordinator import TracingCoordinator
+        from repro.workload.generators import WorkloadGenerator
+        from repro.workload.patterns import ConstantPattern
+
+        coordinator = TracingCoordinator(engine)
+        runtime = ApplicationRuntime(social_network(), cluster, coordinator, engine)
+        runtime.deploy()
+        workload = WorkloadGenerator(runtime, engine, rng, pattern=ConstantPattern(rate=10.0))
+        injector = PerformanceAnomalyInjector(cluster, engine, workload=workload)
+        injector.schedule(
+            AnomalySpec(AnomalyType.WORKLOAD_VARIATION, "nginx", start_s=1.0, duration_s=20.0, intensity=1.0)
+        )
+        engine.run_until(5.0)
+        assert workload.pattern.rate_at(engine.now) == pytest.approx(10.0 * injector.MAX_LOAD_MULTIPLIER)
+        injector.clear()
+        assert workload.pattern.rate_at(10.0) == pytest.approx(10.0)
+
+    def test_clear_cancels_pending_start_events(self, setup):
+        # Regression: clear() used to leave the scheduled anomaly-start
+        # event live, so the begin fired later and re-applied pressure
+        # that nothing would ever remove.
+        cluster, engine, injector = setup
+        injector.schedule(
+            AnomalySpec(AnomalyType.CPU_UTILIZATION, "cpu-service", start_s=5.0, duration_s=10.0, intensity=0.8)
+        )
+        engine.run_until(2.0)
+        injector.clear()
+        engine.run_until(50.0)
+        node = cluster.replicas_of("cpu-service")[0].container.node
+        assert node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+        assert all(not record.is_active for record in injector.log)
+
     def test_workload_variation_inflates_rate(self, cluster, engine, rng, cpu_profile):
         from repro.apps.catalog import social_network
         from repro.apps.runtime import ApplicationRuntime
@@ -144,6 +259,191 @@ class TestInjector:
         inflated = workload.pattern.rate_at(engine.now)
         assert inflated == pytest.approx(10.0 * injector.MAX_LOAD_MULTIPLIER)
         assert workload.pattern.rate_at(50.0) == pytest.approx(10.0)
+
+
+class TestScopedInjection:
+    """Replica-, service-, and tenant-aware injection scopes."""
+
+    def test_default_scope_is_node(self):
+        spec = AnomalySpec(AnomalyType.CPU_UTILIZATION, "svc", 0.0, 1.0, 0.5)
+        assert spec.scope is AnomalyScope.NODE
+
+    def test_string_scope_coerced_to_enum(self):
+        spec = AnomalySpec(
+            AnomalyType.CPU_UTILIZATION, "svc", 0.0, 1.0, 0.5, scope="service_wide"
+        )
+        assert spec.scope is AnomalyScope.SERVICE_WIDE
+
+    def test_negative_replica_index_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalySpec(
+                AnomalyType.CPU_UTILIZATION, "svc", 0.0, 1.0, 0.5, replica_index=-1
+            )
+
+    def test_service_wide_pressures_all_replica_nodes(self, cluster, engine, cpu_profile):
+        cluster.deploy_service(cpu_profile, replicas=3)
+        injector = PerformanceAnomalyInjector(cluster, engine)
+        record = injector.schedule(
+            AnomalySpec(
+                AnomalyType.CPU_UTILIZATION, "cpu-service",
+                start_s=5.0, duration_s=20.0, intensity=0.8,
+                scope=AnomalyScope.SERVICE_WIDE,
+            )
+        )
+        engine.run_until(6.0)
+        hosting = {r.container.node for r in cluster.replicas_of("cpu-service")}
+        assert len(hosting) == 3  # the spread scheduler uses distinct nodes
+        for node in hosting:
+            assert node.injected_pressure[Resource.CPU] > 0
+        assert len(record.applied) == 3
+
+    def test_service_wide_survives_scale_out_and_in(self, cluster, engine, cpu_profile):
+        cluster.deploy_service(cpu_profile, replicas=3)
+        injector = PerformanceAnomalyInjector(cluster, engine)
+        injector.schedule(
+            AnomalySpec(
+                AnomalyType.CPU_UTILIZATION, "cpu-service",
+                start_s=5.0, duration_s=20.0, intensity=0.8,
+                scope=AnomalyScope.SERVICE_WIDE,
+            )
+        )
+        engine.run_until(10.0)
+        # Scale out mid-window: the new replica's node is pressured as soon
+        # as it hosts a target replica.
+        new_instance = cluster.deploy_service(cpu_profile, replicas=1)[0]
+        new_node = new_instance.container.node
+        assert new_node.injected_pressure[Resource.CPU] > 0
+        # Scale in: a node that no longer hosts any replica loses pressure.
+        victim = cluster.replicas_of("cpu-service")[0]
+        victim_node = victim.container.node
+        cluster.remove_instance(victim)
+        assert victim_node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+        # Full removal at end_s: every node returns to zero pressure.
+        engine.run_until(30.0)
+        for node in cluster.nodes:
+            assert node.injected_pressure.total() == pytest.approx(0.0)
+
+    def test_replica_scope_targets_one_replica_node(self, cluster, engine, cpu_profile):
+        cluster.deploy_service(cpu_profile, replicas=3)
+        injector = PerformanceAnomalyInjector(cluster, engine)
+        injector.schedule(
+            AnomalySpec(
+                AnomalyType.CPU_UTILIZATION, "cpu-service",
+                start_s=1.0, duration_s=10.0, intensity=0.8,
+                scope=AnomalyScope.REPLICA, replica_index=1,
+            )
+        )
+        engine.run_until(2.0)
+        replicas = cluster.replicas_of("cpu-service")
+        assert replicas[1].container.node.injected_pressure[Resource.CPU] > 0
+        assert replicas[0].container.node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+        assert replicas[2].container.node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+
+    def test_tenant_scope_covers_all_tenant_services(self, cluster, engine):
+        from repro.cluster.instance import ServiceProfile
+        from repro.cluster.resources import ResourceVector
+
+        def profile(name):
+            return ServiceProfile(
+                name=name,
+                base_service_time_ms=5.0,
+                resource_weights={Resource.CPU: 1.0},
+                demand_per_request=ResourceVector.from_kwargs(cpu=0.5),
+            )
+
+        cluster.deploy_service(profile("t1/a"), node=cluster.nodes[0], tenant="t1")
+        cluster.deploy_service(profile("t1/b"), node=cluster.nodes[1], tenant="t1")
+        cluster.deploy_service(profile("t2/c"), node=cluster.nodes[2], tenant="t2")
+        injector = PerformanceAnomalyInjector(cluster, engine)
+        injector.schedule(
+            AnomalySpec(
+                AnomalyType.CPU_UTILIZATION, "t1/a",
+                start_s=1.0, duration_s=10.0, intensity=0.8,
+                scope=AnomalyScope.TENANT,
+            )
+        )
+        engine.run_until(2.0)
+        assert cluster.nodes[0].injected_pressure[Resource.CPU] > 0
+        assert cluster.nodes[1].injected_pressure[Resource.CPU] > 0
+        assert cluster.nodes[2].injected_pressure[Resource.CPU] == pytest.approx(0.0)
+        engine.run_until(12.0)
+        for node in cluster.nodes[:3]:
+            assert node.injected_pressure[Resource.CPU] == pytest.approx(0.0)
+
+    def test_injected_node_names_covers_every_pressured_node(self, cluster, engine, cpu_profile):
+        cluster.deploy_service(cpu_profile, replicas=3)
+        injector = PerformanceAnomalyInjector(cluster, engine)
+        injector.schedule(
+            AnomalySpec(
+                AnomalyType.CPU_UTILIZATION, "cpu-service",
+                start_s=1.0, duration_s=10.0, intensity=0.8,
+                scope=AnomalyScope.SERVICE_WIDE,
+            )
+        )
+        engine.run_until(2.0)
+        hosting = {r.container.node.name for r in cluster.replicas_of("cpu-service")}
+        assert set(injector.injected_node_names()) == hosting
+        assert injector.injected_node_names(min_intensity=0.9) == []
+
+
+class TestInflatedPatternPruning:
+    def _make_workload(self, cluster, engine, rng):
+        from repro.apps.catalog import social_network
+        from repro.apps.runtime import ApplicationRuntime
+        from repro.tracing.coordinator import TracingCoordinator
+        from repro.workload.generators import WorkloadGenerator
+        from repro.workload.patterns import ConstantPattern
+
+        coordinator = TracingCoordinator(engine)
+        runtime = ApplicationRuntime(social_network(), cluster, coordinator, engine)
+        runtime.deploy()
+        return WorkloadGenerator(runtime, engine, rng, pattern=ConstantPattern(rate=10.0))
+
+    def test_windows_pruned_and_rates_unchanged(self, cluster, engine, rng):
+        # Regression: _InflatedPattern.windows grew without bound and
+        # rate_at scanned every window ever added.
+        workload = self._make_workload(cluster, engine, rng)
+        injector = PerformanceAnomalyInjector(cluster, engine, workload=workload)
+        campaign = random_campaign(
+            ["nginx"], SeededRNG(3), duration_s=400.0, rate_per_s=0.5,
+            min_duration_s=2.0, max_duration_s=6.0,
+            anomaly_types=[AnomalyType.WORKLOAD_VARIATION],
+        )
+        assert len(campaign.specs) > 50
+        injector.schedule_all(campaign.specs)
+
+        mismatches = []
+
+        def probe(eng):
+            expected = 10.0
+            for spec in campaign.specs:
+                if spec.start_s <= eng.now < spec.end_s:
+                    expected *= 1.0 + spec.intensity * (injector.MAX_LOAD_MULTIPLIER - 1.0)
+            actual = workload.pattern.rate_at(eng.now)
+            if abs(actual - expected) > 1e-9 * max(1.0, expected):
+                mismatches.append(eng.now)
+
+        engine.schedule_recurring(7.0, probe, name="rate-probe", until=400.0)
+        engine.run_until(400.0)
+        assert mismatches == []
+        # The retained set is bounded by the windows still overlapping the
+        # last-added one, far below the total ever added.
+        last = campaign.specs[-1]
+        live_bound = sum(1 for spec in campaign.specs if spec.end_s > last.start_s)
+        assert len(workload.pattern.windows) <= live_bound
+        assert len(workload.pattern.windows) < len(campaign.specs) / 4
+
+    def test_late_workload_variation_clamped_to_spec_end(self, cluster, engine, rng):
+        workload = self._make_workload(cluster, engine, rng)
+        injector = PerformanceAnomalyInjector(cluster, engine, workload=workload)
+        engine.run_until(8.0)
+        injector.schedule(
+            AnomalySpec(AnomalyType.WORKLOAD_VARIATION, "nginx", start_s=1.0, duration_s=10.0, intensity=1.0)
+        )
+        # Inflation covers [8, 11) — the remainder of the spec's own
+        # window — not [8, 18).
+        assert workload.pattern.rate_at(9.0) == pytest.approx(10.0 * injector.MAX_LOAD_MULTIPLIER)
+        assert workload.pattern.rate_at(11.5) == pytest.approx(10.0)
 
 
 class TestCampaigns:

@@ -52,8 +52,34 @@ class TestExecution:
         assert len(payload) == 7
 
     def test_all_experiments_registered(self):
-        expected = {"fig1", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "interference", "routing", "table1", "table6", "summary"}
+        expected = {"fig1", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "interference", "resilience", "routing", "table1", "table6", "summary"}
         assert set(EXPERIMENTS) == expected
+
+    def test_run_resilience_reports_localization_and_mitigation(self, capsys):
+        assert main([
+            "run", "resilience", "--preset", "multi_anomaly",
+            "--duration", "14", "--load", "15", "--application", "hotel_reservation",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "multi_anomaly"
+        assert 0.0 <= payload["precision"] <= 1.0
+        assert 0.0 <= payload["recall"] <= 1.0
+        assert payload["windows_scored"] > 0
+        assert "slo_violation_seconds" in payload
+        assert "time_to_mitigate_s" in payload
+
+    def test_sweep_campaigns_runs_resilience_grid(self, capsys):
+        assert main([
+            "sweep", "--campaigns", "random", "--controllers", "none",
+            "--application", "hotel_reservation", "--seeds", "0",
+            "--loads", "12", "--duration", "12",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        row = payload[0]
+        assert row["controller"] == "none"
+        assert row["campaign"] == "random"
+        assert "precision" in row and "recall" in row
 
 
 class TestJsonConversion:

@@ -1,0 +1,204 @@
+"""Tests for the resilience-evaluation subsystem."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.resilience import (
+    CAMPAIGN_KINDS,
+    PRESETS,
+    ResilienceCase,
+    build_resilience_campaign,
+    campaign_macro_spec,
+    resilience_scenario_spec,
+    resilience_sweep_grid,
+    run_resilience,
+    run_resilience_case,
+    run_resilience_sweep,
+)
+
+#: Deliberately tiny settings so each case simulates in well under a second
+#: of wall time; determinism, shapes, and scoring do not need scale.
+FAST = dict(
+    application="hotel_reservation",
+    load_rps=15.0,
+    duration_s=14.0,
+    window_s=4.0,
+    campaign_windows=2,
+)
+
+
+class TestCase:
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceCase(campaign="nope")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            ResilienceCase(scope="galaxy")
+
+    def test_case_id_mentions_all_axes(self):
+        case = ResilienceCase(controller="aimd", campaign="random", seed=3)
+        assert "aimd" in case.case_id
+        assert "random" in case.case_id
+        assert "seed=3" in case.case_id
+
+    def test_case_id_distinguishes_loads(self):
+        a = ResilienceCase(load_rps=40.0)
+        b = ResilienceCase(load_rps=80.0)
+        assert a.case_id != b.case_id
+
+    def test_campaigns_deterministic_per_seed(self):
+        for kind in CAMPAIGN_KINDS:
+            a = build_resilience_campaign(ResilienceCase(campaign=kind, seed=5, duration_s=30.0))
+            b = build_resilience_campaign(ResilienceCase(campaign=kind, seed=5, duration_s=30.0))
+            assert [
+                (s.anomaly_type, s.target_service, s.start_s, s.intensity) for s in a.specs
+            ] == [(s.anomaly_type, s.target_service, s.start_s, s.intensity) for s in b.specs]
+
+    def test_campaign_scope_applied(self):
+        campaign = build_resilience_campaign(
+            ResilienceCase(campaign="multi_anomaly", scope="service_wide")
+        )
+        assert campaign.specs
+        assert all(spec.scope.value == "service_wide" for spec in campaign.specs)
+
+    def test_multi_tenant_campaign_targets_victim_namespace(self):
+        campaign = build_resilience_campaign(
+            ResilienceCase(campaign="random", multi_tenant=True, duration_s=30.0)
+        )
+        assert campaign.specs
+        assert all(spec.target_service.startswith("victim/") for spec in campaign.specs)
+
+    def test_scenario_spec_multi_tenant_shape(self):
+        spec = resilience_scenario_spec(
+            ResilienceCase(campaign="random", multi_tenant=True, duration_s=20.0)
+        )
+        assert [tenant.name for tenant in spec.tenants] == ["victim", "neighbor"]
+        assert spec.tenants[0].campaign is not None
+        assert spec.tenants[1].campaign is None
+
+
+class TestGrid:
+    def test_grid_cross_product_order(self):
+        cases = resilience_sweep_grid(
+            controllers=("none", "aimd"),
+            campaigns=("single_sweep", "random"),
+            applications=("hotel_reservation",),
+            seeds=(0, 1),
+        )
+        assert len(cases) == 8
+        # Campaign-major then controller then seed (mirrors sweep_grid).
+        assert [c.campaign for c in cases[:4]] == ["single_sweep"] * 4
+        assert [c.controller for c in cases[:2]] == ["none", "none"]
+        assert [c.seed for c in cases[:2]] == [0, 1]
+
+    def test_grid_rejects_unknown_controller(self):
+        with pytest.raises(ValueError):
+            resilience_sweep_grid(controllers=("warp-drive",))
+
+    def test_grid_overrides_apply_to_every_case(self):
+        cases = resilience_sweep_grid(
+            controllers=("none",), campaigns=("random",), duration_s=9.0, scope="tenant"
+        )
+        assert all(case.duration_s == 9.0 and case.scope == "tenant" for case in cases)
+
+
+class TestRun:
+    def test_single_tenant_outcome_shape(self):
+        outcome = run_resilience_case(ResilienceCase(campaign="multi_anomaly", **FAST))
+        assert outcome.windows, "expected at least one scored window"
+        assert 0.0 <= outcome.precision <= 1.0
+        assert 0.0 <= outcome.recall <= 1.0
+        assert outcome.summary["completed"] > 0
+        assert outcome.slo_violation_seconds >= 0.0
+        row = outcome.as_dict()
+        assert row["windows_scored"] == len(outcome.windows)
+        json.dumps(row)  # JSON-serializable end to end
+
+    def test_window_bounds_follow_analysis_grid(self):
+        case = ResilienceCase(campaign="multi_anomaly", **FAST)
+        outcome = run_resilience_case(case)
+        for window in outcome.windows:
+            assert window.end_s - window.start_s == pytest.approx(case.window_s)
+            assert window.end_s <= 14.0 + 1e-9
+
+    def test_multi_tenant_scores_victim(self):
+        case = ResilienceCase(
+            campaign="random",
+            multi_tenant=True,
+            scope="tenant",
+            application="hotel_reservation",
+            load_rps=10.0,
+            neighbor_load_rps=40.0,
+            duration_s=14.0,
+            window_s=4.0,
+        )
+        outcome = run_resilience_case(case)
+        assert outcome.neighbor_summary is not None
+        assert outcome.summary["completed"] > 0
+        assert outcome.neighbor_summary["completed"] > 0
+        # Ground truth only ever names the victim's services.
+        for window in outcome.windows:
+            assert all(service.startswith("victim/") for service in window.truth)
+
+    def test_preset_runner_applies_overrides_and_ignores_none(self):
+        outcome = run_resilience(
+            preset="multi_anomaly",
+            duration_s=14.0,
+            load_rps=15.0,
+            window_s=4.0,
+            campaign_windows=2,
+            application="hotel_reservation",
+            controller=None,  # None = keep the preset default
+        )
+        assert outcome.case.controller == PRESETS["multi_anomaly"].controller
+        assert outcome.case.duration_s == 14.0
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            run_resilience(preset="nope")
+
+
+class TestSweepDeterminism:
+    def test_serial_equals_parallel_bit_identical(self):
+        fast = {key: value for key, value in FAST.items() if key != "application"}
+        cases = resilience_sweep_grid(
+            controllers=("none",),
+            campaigns=("single_sweep", "random"),
+            applications=(FAST["application"],),
+            seeds=(0,),
+            **fast,
+        )
+        serial = run_resilience_sweep(cases, workers=1)
+        parallel = run_resilience_sweep(cases, workers=2)
+        serial_rows = [json.dumps(outcome.as_dict(), sort_keys=True) for outcome in serial]
+        parallel_rows = [json.dumps(outcome.as_dict(), sort_keys=True) for outcome in parallel]
+        assert serial_rows == parallel_rows
+
+    def test_progress_called_in_input_order(self):
+        fast = {key: value for key, value in FAST.items() if key != "application"}
+        cases = resilience_sweep_grid(
+            controllers=("none",),
+            campaigns=("random",),
+            applications=(FAST["application"],),
+            seeds=(0, 1),
+            **fast,
+        )
+        seen = []
+        run_resilience_sweep(
+            cases, workers=1, progress=lambda done, total, outcome: seen.append((done, total))
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+
+class TestPerfMacro:
+    def test_campaign_macro_spec_is_campaign_heavy(self):
+        spec = campaign_macro_spec(10.0)
+        assert spec.replicas and all(count == 2 for count in spec.replicas.values())
+        harness = spec.build()
+        campaign = harness.campaign
+        assert campaign is not None and len(campaign.specs) > 3
+        assert all(s.scope.value == "service_wide" for s in campaign.specs)
