@@ -59,6 +59,13 @@ class ApplicationRuntime:
     tenant:
         Optional tenant identity; spans produced by this runtime are tagged
         with it so per-tenant analysis can filter a shared trace stream.
+    request_counter:
+        Optional request-id counter overriding the process-wide default.
+        Request ids never influence simulation results, but the sharded
+        engine hands every shard its own counter so an in-process shard
+        session numbers requests exactly like a shard in a freshly spawned
+        worker process would (the process-wide counter is per-interpreter
+        state).
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class ApplicationRuntime:
         engine: SimulationEngine,
         default_limits: Optional[ResourceLimits] = None,
         tenant: Optional[str] = None,
+        request_counter: Optional["itertools.count"] = None,
     ) -> None:
         self.app = app
         self.cluster = cluster
@@ -79,6 +87,7 @@ class ApplicationRuntime:
         self.completed_requests = 0
         self.dropped_requests = 0
         self._deployed = False
+        self._request_ids = request_counter if request_counter is not None else _request_ids
 
     # -------------------------------------------------------------- deploy
     def deploy(self) -> None:
@@ -113,7 +122,7 @@ class ApplicationRuntime:
         if not self._deployed:
             raise RuntimeError("application must be deployed before submitting requests")
         request_type = self.app.request_types[request_type_name]
-        request_id = f"{self.app.name}-{request_type_name}-{next(_request_ids)}"
+        request_id = f"{self.app.name}-{request_type_name}-{next(self._request_ids)}"
         trace = self.coordinator.begin_trace(request_id, request_type_name, self.engine.now)
         self._execute_entry(trace, request_type, on_complete)
         return trace

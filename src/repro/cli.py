@@ -184,6 +184,65 @@ def _run_routing_experiment(args: argparse.Namespace):
     return run_routing(preset=preset, policies=policies, **kwargs).as_dict()
 
 
+def _run_sharded_experiment(args: argparse.Namespace):
+    """Run a multi-tenant interference preset on the sharded engine.
+
+    ``--shards 1`` (the default) is the transparent bypass to the classic
+    single-engine path, so the same command line can A/B the two engines
+    on an identical spec.
+    """
+    from repro.experiments.interference import PRESETS
+    from repro.experiments.scenario import run_scenario
+    from repro.experiments.sharded import ShardedScenarioRunner, plan_shards
+
+    preset = getattr(args, "preset", None) or "aggressor_victim"
+    try:
+        builder = PRESETS[preset]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(f"unknown interference preset {preset!r}; known: {known}")
+    kwargs: Dict[str, Any] = {"seed": getattr(args, "seed", 0)}
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    if preset == "identical_tenants":
+        tenants = getattr(args, "tenants", None)
+        kwargs["count"] = tenants if tenants is not None else 4
+        if args.load is not None:
+            kwargs["load_rps"] = args.load
+        if args.application is not None:
+            kwargs["application"] = args.application
+    else:
+        if args.load is not None:
+            kwargs["victim_load_rps"] = args.load
+        if args.application is not None:
+            kwargs["victim_application"] = args.application
+    spec = builder(**kwargs)
+
+    shards = max(1, int(getattr(args, "shards", 1) or 1))
+    payload: Dict[str, Any] = {
+        "scenario_id": spec.scenario_id,
+        "shards": shards,
+    }
+    if shards == 1:
+        result = run_scenario(spec)
+    else:
+        mode = getattr(args, "shard_mode", None) or "process"
+        runner = ShardedScenarioRunner(spec, shards, mode=mode)
+        try:
+            runner.prepare()
+            result = runner.execute()
+        finally:
+            runner.close()
+        payload["mode"] = mode
+        payload["window_s"] = runner.plan.window_s
+        payload["barriers"] = runner.sync_stats.barriers
+        payload["skipped_windows"] = runner.sync_stats.skipped_windows
+        payload["processed_events"] = runner.processed_events
+    payload["summary"] = result.summary()
+    payload["tenants"] = result.per_tenant_summary()
+    return payload
+
+
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig1": _run_fig1,
     "fig3": _run_fig3,
@@ -195,6 +254,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "interference": _run_interference,
     "resilience": _run_resilience,
     "routing": _run_routing_experiment,
+    "sharded": _run_sharded_experiment,
     "table1": _run_table1,
     "table6": _run_table6,
     "summary": _run_summary,
@@ -245,6 +305,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--policies", default=None,
         help="comma-separated routing policies for the routing experiment "
         "(default: all registered policies)",
+    )
+    run_parser.add_argument(
+        "--shards", type=int, default=1,
+        help="event-shard count for the sharded experiment "
+        "(1 = classic single-engine path)",
+    )
+    run_parser.add_argument(
+        "--shard-mode", default=None, choices=("process", "inprocess"),
+        help="shard execution mode for the sharded experiment "
+        "(default process; inprocess runs shards serially in this process)",
     )
     run_parser.add_argument("--out", default=None, help="write the JSON result to this path")
 
@@ -353,6 +423,19 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument(
         "--repeats", type=int, default=1,
         help="median-of-N runs per benchmark (use >=3 for baselines and CI gates)",
+    )
+    perf_parser.add_argument(
+        "--scaling", action="store_true",
+        help="measure the shard-scaling curve (events/s per shard count) "
+        "instead of the macro benchmarks, and write scaling.json",
+    )
+    perf_parser.add_argument(
+        "--shard-counts", default=None,
+        help="comma-separated shard counts for --scaling (default 1,2,4)",
+    )
+    perf_parser.add_argument(
+        "--scaling-out", default=None,
+        help="scaling artifact path (default: benchmarks/results/scaling.json)",
     )
     perf_parser.add_argument("--out", default=None, help="write the JSON report to this path")
     return parser
@@ -491,6 +574,31 @@ def _run_perf(args: argparse.Namespace) -> int:
         save_report,
     )
 
+    if getattr(args, "scaling", False):
+        from repro.perf.harness import DEFAULT_SCALING_PATH, run_shard_scaling, save_scaling
+
+        counts = (
+            _csv_list(args.shard_counts, int) if args.shard_counts else (1, 2, 4)
+        )
+        curve = run_shard_scaling(shard_counts=counts, quick=args.quick)
+        for point in curve["points"]:
+            print(
+                f"[perf] shards={point['shards']}: {point['events_per_s']:,.0f} "
+                f"events/s over {point['wall_s']:.2f}s wall",
+                file=sys.stderr,
+            )
+        scaling_path = args.scaling_out if args.scaling_out else DEFAULT_SCALING_PATH
+        save_scaling(curve, scaling_path)
+        print(f"wrote scaling curve {scaling_path}", file=sys.stderr)
+        text = json.dumps(curve, indent=2, default=str)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
+
     report = run_perf(
         quick=args.quick,
         benchmarks=_csv_list(args.benchmarks) if args.benchmarks else None,
@@ -561,7 +669,7 @@ def main(argv=None) -> int:
     elif args.command == "sweep":
         payload = _run_sweep(args)
     else:
-        if args.experiment not in ("interference", "resilience", "routing"):
+        if args.experiment not in ("interference", "resilience", "routing", "sharded"):
             # Classic experiments get the historical defaults; interference,
             # resilience, and routing resolve omitted flags against their
             # presets' own defaults.

@@ -59,6 +59,9 @@ class Container:
         "instance",
         "_started_cold",
         "partition_enforced",
+        "_limits_version",
+        "_demand_key",
+        "_demand_values",
     )
 
     def __init__(
@@ -82,6 +85,15 @@ class Container:
         #: resources (cgroups CFS quota, Intel MBA/CAT, blkio, tc/HTB).  Until
         #: then the container runs best-effort and its limits are only caps.
         self.partition_enforced = False
+        # Capped-demand memo: demand only changes when the hosted instance's
+        # queue/in-service population or this container's limits change, but
+        # node-level contention re-reads it for every container on the node
+        # per dispatched span.  Keyed by (queue len, in-service len, limits
+        # version); ``threads`` and the profile's per-request demand are
+        # fixed after the instance binds, so they stay out of the key.
+        self._limits_version = 0
+        self._demand_key: Optional[tuple] = None
+        self._demand_values: Optional[Dict[Resource, float]] = None
 
     # ------------------------------------------------------------- limits
     def effective_cpu_limit(self) -> float:
@@ -91,6 +103,7 @@ class Container:
     def set_limit(self, resource: Resource, value: float) -> None:
         """Set one resource limit, clamped to be non-negative."""
         self.limits[resource] = max(0.0, float(value))
+        self._limits_version += 1
 
     def set_limits(self, limits: ResourceVector) -> None:
         """Replace all limits at once."""
@@ -103,31 +116,37 @@ class Container:
 
         Demand originates from the hosted instance (requests in service and
         queued work); the cgroups-style limit caps how much of the node each
-        container can actually pull.
+        container can actually pull.  The result is memoized against the
+        instance's population and the limits version — callers treat the
+        returned dict as read-only.
         """
         instance = self.instance
         if instance is None:
             return {resource: 0.0 for resource in RESOURCE_TYPES}
-        raw = instance.resource_demand().values
+        key = (len(instance._queue), len(instance._in_service), self._limits_version)
+        if key == self._demand_key:
+            return self._demand_values
+        raw = instance._demand_values()
         limit_values = self.limits.values
+        effective_cpu = self.effective_cpu_limit()
         capped: Dict[Resource, float] = {}
         for resource in RESOURCE_TYPES:
             limit = (
-                self.effective_cpu_limit()
-                if resource is Resource.CPU
-                else limit_values[resource]
+                effective_cpu if resource is Resource.CPU else limit_values[resource]
             )
             want = raw[resource]
             capped[resource] = (want if want < limit else limit) if limit > 0 else 0.0
+        self._demand_key = key
+        self._demand_values = capped
         return capped
 
     def current_demand(self) -> ResourceVector:
         """Instantaneous demand, bounded by the container's own limits."""
-        return ResourceVector._from_normalized(self._capped_demand_values())
+        return ResourceVector._from_normalized(dict(self._capped_demand_values()))
 
     def usage(self) -> ResourceUsage:
         """Usage sample exported to telemetry (same shape as demand)."""
-        return ResourceUsage._from_normalized(self._capped_demand_values())
+        return ResourceUsage._from_normalized(dict(self._capped_demand_values()))
 
     def demand_and_utilization(self) -> "tuple[Dict[Resource, float], Dict[Resource, float]]":
         """Capped demand and RU/RLT utilization from one demand pass.
@@ -136,7 +155,7 @@ class Container:
         utilization; telemetry sampling uses it so usage and utilization
         are derived from the same instant without recomputing demand.
         """
-        demand = self._capped_demand_values()
+        demand = dict(self._capped_demand_values())
         limit_values = self.limits.values
         utilization: Dict[Resource, float] = {}
         for resource in RESOURCE_TYPES:
@@ -171,7 +190,7 @@ class Container:
         if self.instance is None:
             return {resource: 1.0 for resource in RESOURCE_TYPES}
         queueing_factor = Node._queueing_factor
-        raw = self.instance.resource_demand().values
+        raw = self.instance._demand_values()
         factors: Dict[Resource, float] = {}
         for resource in RESOURCE_TYPES:
             want = raw[resource]

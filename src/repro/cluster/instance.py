@@ -128,9 +128,11 @@ class MicroserviceInstance:
         "recent_latencies_ms",
         "max_queue_length",
         "completion_listeners",
-        "_service_stream",
+        "_service_cursor",
         "_lognormal_params",
         "_finish_event_name",
+        "_demand_key",
+        "_demand_dict",
     )
 
     def __init__(
@@ -166,8 +168,9 @@ class MicroserviceInstance:
         #: idle queues (JIQ) and per-replica latency EWMAs.  Listeners must
         #: not mutate this list from inside a dispatch.
         self.completion_listeners: List[Callable[["MicroserviceInstance", float], None]] = []
-        #: Cached service-time substream (looked up once, not per span).
-        self._service_stream = rng.stream(f"service:{self.name}")
+        #: Buffered service-time cursor: block draws of standard normals,
+        #: exponentiated with the current profile parameters per span.
+        self._service_cursor = rng.cursor(f"service:{self.name}")
         #: Cached lognormal (mu, sigma) keyed by the profile parameters
         #: they were derived from, so profile edits still take effect.
         self._lognormal_params: Tuple[float, float, float, float] = (
@@ -177,6 +180,10 @@ class MicroserviceInstance:
             0.0,
         )
         self._finish_event_name = f"span-finish:{self.name}"
+        # Raw-demand memo, shared key structure with the container's capped
+        # demand memo (see Container._capped_demand_values).
+        self._demand_key: Optional[Tuple[int, int, int]] = None
+        self._demand_dict: Optional[Dict[Resource, float]] = None
 
     # --------------------------------------------------------------- metrics
     @property
@@ -200,8 +207,18 @@ class MicroserviceInstance:
         cpu = self.container.effective_cpu_limit()
         return max(1, int(cpu))
 
-    def resource_demand(self) -> ResourceVector:
-        """Instantaneous resource demand driven by in-flight work."""
+    def _demand_values(self) -> Dict[Resource, float]:
+        """Raw per-resource demand as a memoized read-only dict.
+
+        Demand is ``active x demand_per_request`` where ``active`` only
+        moves when the queue/in-service population or the CPU quota
+        (concurrency) changes, so the dict is memoized against
+        (queue len, in-service len, limits version) — the same key the
+        container's capped-demand memo uses.
+        """
+        key = (len(self._queue), len(self._in_service), self.container._limits_version)
+        if key == self._demand_key:
+            return self._demand_dict
         queued = len(self._queue)
         concurrency = self.concurrency()
         active = len(self._in_service) + (
@@ -209,9 +226,14 @@ class MicroserviceInstance:
         )
         demand_values = self.profile.demand_per_request.values
         scale = float(active)
-        return ResourceVector._from_normalized(
-            {resource: value * scale for resource, value in demand_values.items()}
-        )
+        values = {resource: value * scale for resource, value in demand_values.items()}
+        self._demand_key = key
+        self._demand_dict = values
+        return values
+
+    def resource_demand(self) -> ResourceVector:
+        """Instantaneous resource demand driven by in-flight work."""
+        return ResourceVector._from_normalized(dict(self._demand_values()))
 
     def utilization(self) -> ResourceVector:
         """Per-resource utilization of the hosting container."""
@@ -264,7 +286,7 @@ class MicroserviceInstance:
             mu = math.log(mean) - sigma2 / 2.0
             sigma = math.sqrt(sigma2)
             self._lognormal_params = (mean, cv, mu, sigma)
-        return float(self._service_stream.lognormal(mu, sigma))
+        return self._service_cursor.lognormal(mu, sigma)
 
     def _try_dispatch(self) -> None:
         """Move queued spans into service while concurrency slots are free."""

@@ -217,9 +217,14 @@ class ExperimentHarness:
         rng: SeededRNG,
         scheduler: Optional[Scheduler] = None,
         node_specs: Optional[List[NodeSpec]] = None,
+        request_counter=None,
     ) -> None:
         self.engine = engine
         self.rng = rng
+        #: Optional request-id counter shared by every tenant runtime; the
+        #: sharded engine gives each shard harness its own so in-process
+        #: shard sessions number requests like freshly spawned processes.
+        self.request_counter = request_counter
         self.cluster = Cluster(engine, rng, node_specs=node_specs, scheduler=scheduler)
         self.telemetry = TelemetryCollector(self.cluster, engine)
         #: All tenants, in deployment order.  Single-tenant harnesses hold
@@ -235,7 +240,10 @@ class ExperimentHarness:
     def _add_primary_tenant(self, app: ServiceGraph) -> TenantRuntime:
         """Wire the classic untenanted tenant (single-tenant harness)."""
         coordinator = TracingCoordinator(self.engine, telemetry=self.telemetry)
-        runtime = ApplicationRuntime(app, self.cluster, coordinator, self.engine)
+        runtime = ApplicationRuntime(
+            app, self.cluster, coordinator, self.engine,
+            request_counter=self.request_counter,
+        )
         orchestrator = Orchestrator(self.cluster, self.engine, self.rng)
         tenant = TenantRuntime(
             name=None,
@@ -274,7 +282,10 @@ class ExperimentHarness:
         tenant_rng = self.rng.spawn(f"tenant:{name}")
         view = TenantClusterView(self.cluster, name)
         coordinator = TracingCoordinator(self.engine, telemetry=self.telemetry, tenant=name)
-        runtime = ApplicationRuntime(app, view, coordinator, self.engine, tenant=name)
+        runtime = ApplicationRuntime(
+            app, view, coordinator, self.engine, tenant=name,
+            request_counter=self.request_counter,
+        )
         orchestrator = Orchestrator(view, self.engine, tenant_rng)
         tenant = TenantRuntime(
             name=name,
@@ -436,18 +447,22 @@ class ExperimentHarness:
         seed: int = 0,
         scheduler: Optional[Scheduler] = None,
         node_specs: Optional[List[NodeSpec]] = None,
+        request_counter=None,
     ) -> "ExperimentHarness":
         """Build a harness for one of the four benchmark applications."""
         engine = SimulationEngine()
         rng = SeededRNG(seed)
         app = build_application(application)
-        harness = cls(app, engine, rng, scheduler=scheduler, node_specs=node_specs)
+        harness = cls(
+            app, engine, rng, scheduler=scheduler, node_specs=node_specs,
+            request_counter=request_counter,
+        )
         harness.runtime.deploy()
         harness.telemetry.start()
         return harness
 
     @classmethod
-    def from_spec(cls, spec: ScenarioSpec) -> "ExperimentHarness":
+    def from_spec(cls, spec: ScenarioSpec, request_counter=None) -> "ExperimentHarness":
         """Build the fully wired harness described by ``spec``.
 
         Single-tenant specs wire, in order: application + cluster, routing
@@ -464,12 +479,13 @@ class ExperimentHarness:
         and controller.
         """
         if spec.tenants:
-            return cls._from_multi_tenant_spec(spec)
+            return cls._from_multi_tenant_spec(spec, request_counter=request_counter)
         harness = cls.build(
             application=spec.application,
             seed=spec.seed,
             scheduler=cls._scheduler_from_spec(spec, SeededRNG(spec.seed)),
             node_specs=cls._node_specs_from_spec(spec),
+            request_counter=request_counter,
         )
         harness.spec = spec
         if spec.routing is not None:
@@ -489,7 +505,9 @@ class ExperimentHarness:
         return harness
 
     @classmethod
-    def _from_multi_tenant_spec(cls, spec: ScenarioSpec) -> "ExperimentHarness":
+    def _from_multi_tenant_spec(
+        cls, spec: ScenarioSpec, request_counter=None
+    ) -> "ExperimentHarness":
         engine = SimulationEngine()
         rng = SeededRNG(spec.seed)
         harness = cls(
@@ -498,6 +516,7 @@ class ExperimentHarness:
             rng,
             scheduler=cls._scheduler_from_spec(spec, rng),
             node_specs=cls._node_specs_from_spec(spec),
+            request_counter=request_counter,
         )
         harness.spec = spec
         if spec.routing is not None:
@@ -629,6 +648,39 @@ class ExperimentHarness:
         merged into the cluster-level result (for single-tenant runs the
         merged view *is* the tenant's, unchanged).  ``load_rps`` applies to
         the primary tenant only (legacy convenience).
+
+        Equivalent to :meth:`begin_run` + one ``advance_to(end_time)`` +
+        ``finish()``; the sharded engine uses the session form directly to
+        interleave window barriers between advances.
+        """
+        session = self.begin_run(
+            duration_s=duration_s,
+            load_rps=load_rps,
+            sample_period_s=sample_period_s,
+            warmup_s=warmup_s,
+        )
+        try:
+            session.advance_to(session.end_time)
+        except BaseException:
+            session.abort()
+            raise
+        return session.finish()
+
+    def begin_run(
+        self,
+        duration_s: float = 120.0,
+        load_rps: Optional[float] = None,
+        sample_period_s: float = 1.0,
+        warmup_s: float = 0.0,
+    ) -> "RunSession":
+        """Set a run up (trackers, hooks, sampling, controllers, workloads)
+        without executing any events.
+
+        Returns a :class:`RunSession` whose :meth:`RunSession.advance_to`
+        drives the engine in increments — the windowed execution mode the
+        sharded engine is built on.  The setup call order is exactly the
+        prefix :meth:`run` used to execute, so a session advanced straight
+        to its end time reproduces ``run()`` byte for byte.
         """
         primary = self._primary
         if primary.workload is None:
@@ -644,6 +696,7 @@ class ExperimentHarness:
 
         requested_cpu: List[float] = []
         cpu_utilization: List[float] = []
+        violation_samples: List[Tuple[float, bool]] = []
 
         # Per-tenant streaming SLO accounting: observe every trace through
         # the owning tenant's coordinator the moment it finishes.  A trace
@@ -678,6 +731,7 @@ class ExperimentHarness:
                 mitigation.update(engine.now, violating)
             if cluster_mitigation is not None:
                 cluster_mitigation.update(engine.now, any_violating)
+            violation_samples.append((engine.now, any_violating))
 
         # Bound the sampling recurrence to this run (and cancel it on exit)
         # so back-to-back run() calls on one harness never double-sample.
@@ -693,23 +747,28 @@ class ExperimentHarness:
             for tenant in self.tenants:
                 if tenant.workload is not None:
                     tenant.workload.start(duration_s=duration_s)
-            self.engine.run_until(end_time)
-            for _, _, mitigation, _ in trackers:
-                mitigation.close(self.engine.now)
-            if cluster_mitigation is not None:
-                cluster_mitigation.close(self.engine.now)
-        finally:
+        except BaseException:
             for coordinator, hook in hooks:
                 coordinator.remove_completion_hook(hook)
             sample_event.cancel()
+            raise
 
-        return self._collect_results(
-            trackers,
-            cluster_mitigation,
+        return RunSession(
+            harness=self,
             duration_s=duration_s,
+            end_time=end_time,
+            trackers=trackers,
+            hooks=hooks,
+            sample_event=sample_event,
+            cluster_mitigation=cluster_mitigation,
             requested_cpu=requested_cpu,
             cpu_utilization=cpu_utilization,
+            violation_samples=violation_samples,
         )
+
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the engine's next live event (None when idle)."""
+        return self.engine.next_event_time()
 
     @staticmethod
     def _make_observer(slo_tracker: SLOTracker, accounting_start: float):
@@ -780,6 +839,93 @@ class ExperimentHarness:
         if self.is_multi_tenant:
             result.tenant_results = tenant_results
         return result
+
+
+class RunSession:
+    """An in-flight harness run that can be advanced in time increments.
+
+    Produced by :meth:`ExperimentHarness.begin_run`.  The session owns the
+    run's streaming accounting state (SLO trackers, completion hooks, the
+    sampling recurrence); :meth:`advance_to` executes events up to a
+    virtual-time barrier, and :meth:`finish` closes the accounting and
+    assembles the :class:`ExperimentResult`.  Advancing a session straight
+    to :attr:`end_time` is byte-identical to
+    :meth:`ExperimentHarness.run` — ``run_until(b)`` then ``run_until(e)``
+    executes exactly the events ``run_until(e)`` would.
+
+    The sharded engine drives one session per shard, alternating
+    ``advance_to`` with cross-shard pressure exchange at window barriers.
+    """
+
+    def __init__(
+        self,
+        harness: ExperimentHarness,
+        duration_s: float,
+        end_time: float,
+        trackers: List[Tuple[TenantRuntime, SLOTracker, MitigationTracker, List[float]]],
+        hooks: List[Tuple[TracingCoordinator, object]],
+        sample_event,
+        cluster_mitigation: Optional[MitigationTracker],
+        requested_cpu: List[float],
+        cpu_utilization: List[float],
+        violation_samples: List[Tuple[float, bool]],
+    ) -> None:
+        self.harness = harness
+        self.duration_s = duration_s
+        self.end_time = end_time
+        self._trackers = trackers
+        self._hooks = hooks
+        self._sample_event = sample_event
+        self._cluster_mitigation = cluster_mitigation
+        self._requested_cpu = requested_cpu
+        self._cpu_utilization = cpu_utilization
+        #: Per-sample ``(time, any tenant violating)`` flags, recorded so a
+        #: sharded run can rebuild the cluster-level mitigation timeline
+        #: across shards after the fact.
+        self.violation_samples = violation_samples
+        self._closed = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of the underlying engine."""
+        return self.harness.engine.now
+
+    def advance_to(self, time: float) -> None:
+        """Execute events up to virtual time ``time`` (capped at the end)."""
+        if self._closed:
+            raise RuntimeError("run session is already closed")
+        self.harness.engine.run_until(time if time < self.end_time else self.end_time)
+
+    def finish(self) -> ExperimentResult:
+        """Close accounting at the current time and assemble the result."""
+        if self._closed:
+            raise RuntimeError("run session is already closed")
+        harness = self.harness
+        try:
+            for _, _, mitigation, _ in self._trackers:
+                mitigation.close(harness.engine.now)
+            if self._cluster_mitigation is not None:
+                self._cluster_mitigation.close(harness.engine.now)
+        finally:
+            self._teardown()
+        return harness._collect_results(
+            self._trackers,
+            self._cluster_mitigation,
+            duration_s=self.duration_s,
+            requested_cpu=self._requested_cpu,
+            cpu_utilization=self._cpu_utilization,
+        )
+
+    def abort(self) -> None:
+        """Tear the run down without collecting results (exception path)."""
+        if not self._closed:
+            self._teardown()
+
+    def _teardown(self) -> None:
+        self._closed = True
+        for coordinator, hook in self._hooks:
+            coordinator.remove_completion_hook(hook)
+        self._sample_event.cancel()
 
 
 def run_comparison(

@@ -18,15 +18,18 @@ README's "Performance tracking" section for how to read and update it.
 
 from repro.perf.harness import (
     DEFAULT_BASELINE_PATH,
+    DEFAULT_SCALING_PATH,
     REGRESSION_THRESHOLD,
     BenchmarkResult,
     PerfReport,
     compare_reports,
     load_report,
     run_perf,
+    run_shard_scaling,
     save_report,
+    save_scaling,
 )
-from repro.perf.scenarios import MACRO_BENCHMARKS, MacroBenchmark
+from repro.perf.scenarios import MACRO_BENCHMARKS, MacroBenchmark, scaling_spec
 
 __all__ = [
     "BenchmarkResult",
@@ -34,9 +37,13 @@ __all__ = [
     "MACRO_BENCHMARKS",
     "MacroBenchmark",
     "DEFAULT_BASELINE_PATH",
+    "DEFAULT_SCALING_PATH",
     "REGRESSION_THRESHOLD",
     "compare_reports",
     "load_report",
     "run_perf",
+    "run_shard_scaling",
     "save_report",
+    "save_scaling",
+    "scaling_spec",
 ]

@@ -123,12 +123,24 @@ def _run_benchmark(
     """Build and run every scenario of one benchmark, timed end to end.
 
     Harness construction happens outside the timed window — the metric is
-    simulator throughput, not application-import cost.
+    simulator throughput, not application-import cost.  Sharded
+    benchmarks (``benchmark.shards >= 2``) likewise keep worker-process
+    spawn and per-shard harness construction untimed
+    (:meth:`ShardedScenarioRunner.prepare`) and time only the
+    window-barrier execution loop; their event count sums every shard
+    engine's processed events.
     """
     from repro.experiments.harness import ExperimentHarness
+    from repro.experiments.sharded import ShardedScenarioRunner
 
     specs = benchmark.specs(quick=quick)
-    harnesses = [ExperimentHarness.from_spec(spec) for spec in specs]
+    sharded = benchmark.shards > 1
+    if sharded:
+        runners = [ShardedScenarioRunner(spec, benchmark.shards) for spec in specs]
+        for runner in runners:
+            runner.prepare()
+    else:
+        harnesses = [ExperimentHarness.from_spec(spec) for spec in specs]
     events = 0
     requests = 0
     sim_duration = 0.0
@@ -143,21 +155,31 @@ def _run_benchmark(
         profiler.enable()
     start = time.perf_counter()
     try:
-        for spec, harness in zip(specs, harnesses):
-            result = harness.run(
-                duration_s=spec.duration_s,
-                sample_period_s=spec.sample_period_s,
-                warmup_s=spec.warmup_s,
-            )
-            events += harness.engine.processed_events
-            requests += int(result.slo.completed)
-            sim_duration += spec.duration_s
+        if sharded:
+            for spec, runner in zip(specs, runners):
+                result = runner.execute()
+                events += runner.processed_events
+                requests += int(result.slo.completed)
+                sim_duration += spec.duration_s
+        else:
+            for spec, harness in zip(specs, harnesses):
+                result = harness.run(
+                    duration_s=spec.duration_s,
+                    sample_period_s=spec.sample_period_s,
+                    warmup_s=spec.warmup_s,
+                )
+                events += harness.engine.processed_events
+                requests += int(result.slo.completed)
+                sim_duration += spec.duration_s
         wall = time.perf_counter() - start
     finally:
         if profiler is not None:
             profiler.disable()
         if gc_was_enabled:
             gc.enable()
+        if sharded:
+            for runner in runners:
+                runner.close()
     wall = max(wall, 1e-9)
     return BenchmarkResult(
         name=benchmark.name,
@@ -277,6 +299,90 @@ class Comparison:
             f"(normalized {self.current_normalized:.6f} vs "
             f"{self.baseline_normalized:.6f}) [{verdict}]"
         )
+
+
+#: Where the CI shard-scaling artifact is written.
+DEFAULT_SCALING_PATH = (
+    Path(__file__).resolve().parents[3] / "benchmarks" / "results" / "scaling.json"
+)
+
+
+def run_shard_scaling(
+    shard_counts: Sequence[int] = (1, 2, 4),
+    quick: bool = False,
+    duration_s: Optional[float] = None,
+) -> Dict[str, object]:
+    """Measure events/sec of one scenario across shard counts.
+
+    Runs :func:`~repro.perf.scenarios.scaling_spec` (four identical
+    co-located tenants) at every shard count — ``1`` on the classic
+    single-engine path, ``>= 2`` on the sharded engine with process
+    workers — and returns the scaling curve as a JSON-ready dict (use
+    :func:`save_scaling` to write the committed/CI artifact).  Each point
+    carries its own calibration probe so curves from different machines
+    remain comparable through ``normalized_events``.
+
+    Note the curve measures *simulator* scaling: on a single-core host
+    shards >= 2 mostly pay synchronization overhead, while multi-core
+    hosts see near-linear gains until shards exceed cores (or tenants).
+    """
+    from repro.experiments.harness import ExperimentHarness
+    from repro.experiments.sharded import ShardedScenarioRunner
+    from repro.perf.scenarios import scaling_spec
+
+    duration = duration_s if duration_s is not None else (5.0 if quick else 15.0)
+    points: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        shards = int(shards)
+        spec = scaling_spec(duration)
+        probe = calibration_score()
+        if shards <= 1:
+            harness = ExperimentHarness.from_spec(spec)
+            start = time.perf_counter()
+            harness.run(
+                duration_s=spec.duration_s,
+                sample_period_s=spec.sample_period_s,
+                warmup_s=spec.warmup_s,
+            )
+            wall = max(time.perf_counter() - start, 1e-9)
+            events = harness.engine.processed_events
+        else:
+            runner = ShardedScenarioRunner(spec, shards)
+            try:
+                runner.prepare()
+                start = time.perf_counter()
+                runner.execute()
+                wall = max(time.perf_counter() - start, 1e-9)
+                events = runner.processed_events
+            finally:
+                runner.close()
+        points.append(
+            {
+                "shards": shards,
+                "sim_duration_s": duration,
+                "wall_s": round(wall, 4),
+                "events": events,
+                "events_per_s": round(events / wall, 1),
+                "normalized_events": round(events / wall / probe, 6) if probe > 0 else 0.0,
+            }
+        )
+    return {
+        "schema": "repro.perf.scaling/1",
+        "scenario": "scaling_spec(4 identical tenants, hotel_reservation)",
+        "quick": quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "points": points,
+    }
+
+
+def save_scaling(curve: Dict[str, object], path: Path = DEFAULT_SCALING_PATH) -> None:
+    """Write a shard-scaling curve as indented JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(curve, handle, indent=2)
+        handle.write("\n")
 
 
 def compare_reports(

@@ -14,7 +14,11 @@ different slice of the stack:
   completion listeners, span tags);
 * ``resilience_campaign`` — dense service-wide anomaly arrivals over a
   replicated application, the anomaly-subsystem shape (multi-node target
-  resolution, per-node pressure, scale-event refresh).
+  resolution, per-node pressure, scale-event refresh);
+* ``sharded_multitenant`` — the multi-tenant interference shape executed
+  on the sharded engine (``shards=2``): per-tenant event shards in worker
+  processes synchronized by conservative time windows
+  (:mod:`repro.experiments.sharded`).
 
 Benchmarks are defined declaratively through
 :class:`~repro.experiments.scenario.ScenarioSpec` so the timed code path
@@ -49,6 +53,13 @@ class MacroBenchmark:
     build_specs:
         Returns the scenario specs to run (all are timed together, so a
         benchmark may be a small sweep).
+    shards:
+        Event-shard count.  ``1`` (the default) times the classic
+        single-engine path; ``>= 2`` times the sharded engine
+        (:class:`~repro.experiments.sharded.ShardedScenarioRunner`) with
+        worker-process spawn and harness construction outside the timed
+        window, mirroring how the unsharded path keeps ``from_spec``
+        untimed.
     """
 
     name: str
@@ -56,6 +67,7 @@ class MacroBenchmark:
     full_duration_s: float
     quick_duration_s: float
     build_specs: Callable[[float], List[ScenarioSpec]]
+    shards: int = 1
 
     def specs(self, quick: bool = False) -> List[ScenarioSpec]:
         """The scenario specs for one run of this benchmark."""
@@ -135,8 +147,37 @@ MACRO_BENCHMARKS: Dict[str, MacroBenchmark] = {
             quick_duration_s=5.0,
             build_specs=_resilience_campaign,
         ),
+        MacroBenchmark(
+            name="sharded_multitenant",
+            description="aggressor/victim tenants on the sharded engine (2 shards)",
+            full_duration_s=20.0,
+            quick_duration_s=5.0,
+            build_specs=_multitenant_aggressor_victim,
+            shards=2,
+        ),
     )
 }
+
+
+def scaling_spec(duration_s: float, tenants: int = 4) -> ScenarioSpec:
+    """The scenario the shard-scaling curve sweeps over.
+
+    Four identical co-located tenants so the curve can cover shard counts
+    1, 2, and 4 of the *same* workload; uncontrolled, constant load, a
+    two-node cluster — pure simulator throughput with cross-tenant
+    contention, no controller dynamics to confound the scaling readout.
+    """
+    from repro.experiments.interference import identical_tenants
+
+    return identical_tenants(
+        tenants,
+        application="hotel_reservation",
+        load_rps=20.0,
+        controller="none",
+        duration_s=duration_s,
+        seed=0,
+        cluster_nodes=(2, 0),
+    )
 
 
 def calibration_score(iterations: int = 2_000_000) -> float:

@@ -5,14 +5,199 @@ times, anomaly campaigns, RL exploration noise, SVM initialization) draws
 from its own named substream derived from a single experiment seed.  This
 keeps experiments reproducible while ensuring, for example, that changing
 the anomaly schedule does not perturb the arrival process.
+
+Hot-path sampling goes through :class:`StreamCursor`: a cursor owns one
+substream's generator handle plus block-drawn buffers of *parameter-free*
+variates (standard exponentials, standard normals, uniforms) and applies
+distribution parameters at consumption time.  Block draws amortize the
+numpy call overhead across ``_CURSOR_BLOCK`` samples while producing the
+exact value sequence of per-draw generator calls:
+
+* ``Generator.standard_exponential(size=n)`` equals ``n`` scalar draws of
+  the same bitstream (the ziggurat fills arrays sequentially), and chunked
+  fills concatenate to the same sequence;
+* ``Generator.exponential(scale)`` equals ``standard_exponential() * scale``
+  bit for bit, and ``Generator.lognormal(mu, sigma)`` equals
+  ``math.exp(mu + sigma * standard_normal())`` (both route through libm's
+  ``exp``);
+* ``Generator.choice(k, p=p)`` equals ``cdf.searchsorted(random(), "right")``
+  over the normalized cumulative weights.
+
+Buffering parameter-free variates (rather than parameterized draws) means a
+controller or anomaly changing a distribution's parameters mid-run does not
+invalidate buffered samples or shift the stream position: the next draw
+consumes the next buffered variate with the new parameters, exactly as the
+unbuffered implementation would.
+
+One caveat follows from buffering: a cursor advances its generator in
+blocks, so the *raw* generator position no longer matches the number of
+values consumed.  Mixing cursor draws and direct ``stream(name)`` calls on
+the same substream therefore changes the direct draws' values.  Substream
+names are single-purpose throughout the codebase, which keeps the two
+access styles disjoint.
 """
 
 from __future__ import annotations
 
 import hashlib
+import math
 from typing import Dict, Optional, Sequence
 
 import numpy as np
+
+#: Samples drawn per buffered block.  Large enough to amortize the numpy
+#: dispatch overhead, small enough that an experiment touching a stream a
+#: handful of times does not waste noticeable work.
+_CURSOR_BLOCK = 256
+
+_EMPTY = np.empty(0)
+
+
+class StreamCursor:
+    """Buffered draws over one substream with a cached generator handle.
+
+    The cursor is the batched sampling path: scalar conveniences pop from
+    block-drawn buffers of standard variates, and the batch methods fill
+    whole arrays from the same buffers, so scalar and batch consumption of
+    a stream produce one interleavable, identical value sequence.
+    """
+
+    __slots__ = (
+        "generator",
+        "_block",
+        "_exp_buf",
+        "_exp_pos",
+        "_norm_buf",
+        "_norm_pos",
+        "_uni_buf",
+        "_uni_pos",
+    )
+
+    def __init__(self, generator: np.random.Generator, block: int = _CURSOR_BLOCK) -> None:
+        self.generator = generator
+        self._block = int(block)
+        self._exp_buf = _EMPTY
+        self._exp_pos = 0
+        self._norm_buf = _EMPTY
+        self._norm_pos = 0
+        self._uni_buf = _EMPTY
+        self._uni_pos = 0
+
+    # ------------------------------------------------------- standard draws
+    def next_std_exponential(self) -> float:
+        """Next standard-exponential variate (mean 1)."""
+        pos = self._exp_pos
+        buf = self._exp_buf
+        if pos >= buf.shape[0]:
+            buf = self.generator.standard_exponential(self._block)
+            self._exp_buf = buf
+            pos = 0
+        self._exp_pos = pos + 1
+        return buf[pos]
+
+    def next_std_normal(self) -> float:
+        """Next standard-normal variate."""
+        pos = self._norm_pos
+        buf = self._norm_buf
+        if pos >= buf.shape[0]:
+            buf = self.generator.standard_normal(self._block)
+            self._norm_buf = buf
+            pos = 0
+        self._norm_pos = pos + 1
+        return buf[pos]
+
+    def next_uniform(self) -> float:
+        """Next uniform variate in ``[0, 1)``."""
+        pos = self._uni_pos
+        buf = self._uni_buf
+        if pos >= buf.shape[0]:
+            buf = self.generator.random(self._block)
+            self._uni_buf = buf
+            pos = 0
+        self._uni_pos = pos + 1
+        return buf[pos]
+
+    def _take(self, n: int, buf: np.ndarray, pos: int, draw) -> tuple:
+        """Copy ``n`` buffered variates into a fresh array, refilling as needed."""
+        out = np.empty(n)
+        filled = 0
+        while filled < n:
+            avail = buf.shape[0] - pos
+            if avail <= 0:
+                need = n - filled
+                buf = draw(need if need > self._block else self._block)
+                pos = 0
+                avail = buf.shape[0]
+            take = avail if avail < n - filled else n - filled
+            out[filled : filled + take] = buf[pos : pos + take]
+            pos += take
+            filled += take
+        return out, buf, pos
+
+    def std_exponentials(self, n: int) -> np.ndarray:
+        """The next ``n`` standard-exponential variates as an array."""
+        out, self._exp_buf, self._exp_pos = self._take(
+            n, self._exp_buf, self._exp_pos, self.generator.standard_exponential
+        )
+        return out
+
+    def std_normals(self, n: int) -> np.ndarray:
+        """The next ``n`` standard-normal variates as an array."""
+        out, self._norm_buf, self._norm_pos = self._take(
+            n, self._norm_buf, self._norm_pos, self.generator.standard_normal
+        )
+        return out
+
+    def uniforms(self, n: int) -> np.ndarray:
+        """The next ``n`` uniform variates in ``[0, 1)`` as an array."""
+        out, self._uni_buf, self._uni_pos = self._take(
+            n, self._uni_buf, self._uni_pos, self.generator.random
+        )
+        return out
+
+    # ------------------------------------------------------- parameterized
+    def exponential(self, scale: float) -> float:
+        """One exponential draw with mean ``scale``."""
+        return self.next_std_exponential() * scale
+
+    def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
+        """One normal draw."""
+        return loc + scale * self.next_std_normal()
+
+    def lognormal(self, mean: float, sigma: float) -> float:
+        """One lognormal draw (``mean``/``sigma`` of the underlying normal)."""
+        return math.exp(mean + sigma * self.next_std_normal())
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        """One uniform draw in ``[low, high)``."""
+        return low + (high - low) * self.next_uniform()
+
+    def exponentials(self, n: int, scale: float = 1.0) -> np.ndarray:
+        """``n`` exponential draws with mean ``scale``."""
+        out = self.std_exponentials(n)
+        if scale != 1.0:
+            out *= scale
+        return out
+
+    def normals(self, n: int, loc: float = 0.0, scale: float = 1.0) -> np.ndarray:
+        """``n`` normal draws."""
+        out = self.std_normals(n)
+        if scale != 1.0:
+            out *= scale
+        if loc != 0.0:
+            out += loc
+        return out
+
+    def lognormals(self, n: int, mean: float, sigma: float) -> np.ndarray:
+        """``n`` lognormal draws.
+
+        The exponentiation runs through :func:`math.exp` per element — not
+        ``np.exp``, whose SIMD code path differs from libm in the last ulp —
+        so batch draws equal the scalar :meth:`lognormal` sequence exactly.
+        """
+        z = self.std_normals(n)
+        exp = math.exp
+        return np.array([exp(mean + sigma * v) for v in z])
 
 
 class SeededRNG:
@@ -30,6 +215,7 @@ class SeededRNG:
     def __init__(self, seed: int = 0) -> None:
         self._seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._cursors: Dict[str, StreamCursor] = {}
 
     @property
     def seed(self) -> int:
@@ -44,35 +230,90 @@ class SeededRNG:
             self._streams[name] = np.random.default_rng(substream_seed)
         return self._streams[name]
 
+    def cursor(self, name: str) -> StreamCursor:
+        """Return (creating if needed) the buffered cursor for ``name``.
+
+        Hot paths should hold on to the returned cursor: it caches the
+        generator handle, so per-draw cost is a buffer index instead of a
+        dict lookup plus a numpy method dispatch.
+        """
+        cursor = self._cursors.get(name)
+        if cursor is None:
+            cursor = StreamCursor(self.stream(name))
+            self._cursors[name] = cursor
+        return cursor
+
     def spawn(self, name: str) -> "SeededRNG":
         """Derive a child :class:`SeededRNG` whose master seed depends on ``name``."""
         digest = hashlib.sha256(f"{self._seed}:spawn:{name}".encode("utf-8")).digest()
         return SeededRNG(int.from_bytes(digest[:8], "little"))
 
+    # --------------------------------------------------------- batch draws
+    def exponentials(self, name: str, n: int, scale: float = 1.0) -> np.ndarray:
+        """``n`` exponential draws (mean ``scale``) from the named substream."""
+        return self.cursor(name).exponentials(n, scale)
+
+    def lognormals(self, name: str, n: int, mean: float, sigma: float) -> np.ndarray:
+        """``n`` lognormal draws from the named substream."""
+        return self.cursor(name).lognormals(n, mean, sigma)
+
+    def normals(self, name: str, n: int, loc: float = 0.0, scale: float = 1.0) -> np.ndarray:
+        """``n`` normal draws from the named substream."""
+        return self.cursor(name).normals(n, loc, scale)
+
+    def uniforms(self, name: str, n: int, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+        """``n`` uniform draws in ``[low, high)`` from the named substream."""
+        out = self.cursor(name).uniforms(n)
+        if high != 1.0 or low != 0.0:
+            out *= high - low
+            out += low
+        return out
+
     # --------------------------------------------------------- conveniences
+    #
+    # Single draws delegate to the cursor (the batched path), so the
+    # generator handle is cached after the first draw instead of being
+    # re-resolved through the stream dict on every sample.
     def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:
         """One uniform draw from the named substream."""
-        return float(self.stream(name).uniform(low, high))
+        return float(self.cursor(name).uniform(low, high))
 
     def exponential(self, name: str, scale: float) -> float:
         """One exponential draw (mean ``scale``) from the named substream."""
-        return float(self.stream(name).exponential(scale))
+        return float(self.cursor(name).exponential(scale))
 
     def normal(self, name: str, loc: float = 0.0, scale: float = 1.0) -> float:
         """One normal draw from the named substream."""
-        return float(self.stream(name).normal(loc, scale))
+        return float(self.cursor(name).normal(loc, scale))
 
     def lognormal(self, name: str, mean: float, sigma: float) -> float:
         """One lognormal draw from the named substream."""
-        return float(self.stream(name).lognormal(mean, sigma))
+        return float(self.cursor(name).lognormal(mean, sigma))
 
     def choice(self, name: str, options: Sequence, p: Optional[Sequence[float]] = None):
-        """Choose one element of ``options`` (optionally weighted by ``p``)."""
-        index = self.stream(name).choice(len(options), p=p)
+        """Choose one element of ``options`` (optionally weighted by ``p``).
+
+        Weighted draws route through the cursor's uniform buffer with the
+        inverse-CDF recipe ``Generator.choice`` itself uses, so they stay
+        value-identical to the unbuffered implementation; unweighted draws
+        use the generator's bounded-integer path directly.
+        """
+        if p is not None:
+            weights = np.asarray(p, dtype=float)
+            cdf = weights.cumsum()
+            cdf /= cdf[-1]
+            index = int(cdf.searchsorted(self.cursor(name).next_uniform(), side="right"))
+            last = len(options) - 1
+            return options[index if index < last else last]
+        index = self.stream(name).choice(len(options))
         return options[int(index)]
 
     def integers(self, name: str, low: int, high: int) -> int:
-        """One integer draw in ``[low, high)`` from the named substream."""
+        """One integer draw in ``[low, high)`` from the named substream.
+
+        Bounded integers use rejection sampling with no fixed per-draw bit
+        budget, so they stay on the raw generator rather than a cursor.
+        """
         return int(self.stream(name).integers(low, high))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,151 @@
+"""Shard partitioning primitives for the sharded simulation engine.
+
+The sharded engine partitions a multi-tenant experiment into independent
+event shards — one engine, RNG, cluster, and tenant subset per shard —
+synchronized by the conservative time-window barrier implemented in
+:mod:`repro.sim.sync`.  This module holds the pieces that are pure data
+and pure functions, shared by the in-process and cross-process drivers:
+
+* :func:`partition_round_robin` — the deterministic tenant -> shard map,
+* :class:`ShardDigest` — the per-window message a shard publishes,
+* :func:`merge_remote_pressure` — the fold every shard applies to the
+  other shards' digests,
+* :func:`conservative_window_s` — the barrier-window sizing rule.
+
+Determinism contract
+--------------------
+Everything here is a pure function of its inputs.  The partition depends
+only on the tenant order and shard count; the merge folds digests in
+ascending shard-index order so floating-point summation order is fixed;
+the window size depends only on static service profiles.  Consequently
+``same seed + same shard count`` yields identical results regardless of
+whether shards run in one process or across worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TypeVar
+
+from repro.cluster.resources import Resource
+
+T = TypeVar("T")
+
+#: Smallest permitted synchronization window (seconds).  Barriers cheaper
+#: than this would dominate runtime without improving coupling fidelity:
+#: cross-shard demand only feeds the slow queueing-delay contention term,
+#: which the unsharded engine itself samples at telemetry cadence.
+WINDOW_FLOOR_S = 0.05
+
+
+def partition_round_robin(items: Sequence[T], shards: int) -> List[List[T]]:
+    """Deal ``items`` across ``shards`` buckets round-robin.
+
+    Bucket ``i`` receives ``items[i::shards]``, so the assignment is a
+    pure function of input order and shard count — the cornerstone of the
+    sharded determinism contract.
+
+    Raises
+    ------
+    ValueError
+        If ``shards < 1`` or there are fewer items than shards (an empty
+        shard would stall the window barrier for nothing).
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    if len(items) < shards:
+        raise ValueError(
+            f"cannot split {len(items)} tenant(s) across {shards} shards; "
+            "reduce --shards to at most the tenant count"
+        )
+    return [list(items[index::shards]) for index in range(shards)]
+
+
+def conservative_window_s(
+    min_service_time_s: float,
+    sample_period_s: float = 1.0,
+    cross_shard_lookahead_s: Optional[float] = None,
+) -> float:
+    """Size the conservative synchronization window.
+
+    The window is the interval during which shards run dead-reckoned on
+    the other shards' last published demand.  It must be short relative
+    to the fastest timescale at which one shard's behaviour becomes
+    visible to another:
+
+    * ``min_service_time_s`` — the smallest base service time across all
+      deployed services; node demand cannot ramp faster than requests
+      complete, so this bounds how quickly cross-shard pressure drifts;
+    * ``cross_shard_lookahead_s`` — the minimum latency of any span that
+      crosses a shard boundary.  With per-tenant partitioning no span
+      crosses shards, so this is ``None`` (unbounded lookahead) and only
+      the demand-drift bound applies;
+    * ``sample_period_s`` — telemetry cadence; windows longer than one
+      sample period would let a whole telemetry tick elapse on stale
+      remote demand, so it caps the window.
+
+    The floor (:data:`WINDOW_FLOOR_S`) keeps barrier overhead bounded.
+    """
+    if min_service_time_s <= 0:
+        raise ValueError(
+            f"min_service_time_s must be positive, got {min_service_time_s}"
+        )
+    if sample_period_s <= 0:
+        raise ValueError(f"sample_period_s must be positive, got {sample_period_s}")
+    window = max(min_service_time_s, WINDOW_FLOOR_S)
+    if cross_shard_lookahead_s is not None:
+        window = min(window, max(cross_shard_lookahead_s, WINDOW_FLOOR_S))
+    return min(window, sample_period_s)
+
+
+@dataclass
+class ShardDigest:
+    """What one shard publishes at a window barrier.
+
+    Attributes
+    ----------
+    shard_index:
+        Position of the publishing shard in the shard plan.
+    time:
+        Barrier time the digest was captured at (virtual seconds).
+    node_pressure:
+        Per-node demand exerted by this shard's containers, as plain
+        ``{node_name: {Resource: float}}`` mappings — already normalized
+        units, picklable, and cheap to merge.
+    next_event_time:
+        Virtual time of the shard's next live event, or None when its
+        queue is drained.  The synchronizer uses the minimum across
+        shards to skip barriers nobody has work for.
+    processed_events:
+        Cumulative events executed by the shard's engine, reported so the
+        driver can aggregate a cluster-wide events/s figure.
+    """
+
+    shard_index: int
+    time: float
+    node_pressure: Dict[str, Dict[Resource, float]] = field(default_factory=dict)
+    next_event_time: Optional[float] = None
+    processed_events: int = 0
+
+
+def merge_remote_pressure(
+    digests: Sequence[ShardDigest], for_shard: int
+) -> Dict[str, Dict[Resource, float]]:
+    """Sum every *other* shard's node demand, for delivery to ``for_shard``.
+
+    Digests are folded in the order given, which the synchronizer fixes
+    to ascending shard index — float summation order is part of the
+    determinism contract.
+    """
+    merged: Dict[str, Dict[Resource, float]] = {}
+    for digest in digests:
+        if digest.shard_index == for_shard:
+            continue
+        for node_name, values in digest.node_pressure.items():
+            into = merged.get(node_name)
+            if into is None:
+                merged[node_name] = dict(values)
+            else:
+                for resource, value in values.items():
+                    into[resource] = into.get(resource, 0.0) + value
+    return merged

@@ -1,0 +1,175 @@
+"""Conservative time-window synchronization across simulation shards.
+
+Classic conservative parallel discrete-event simulation advances every
+logical process to a common barrier whose spacing is bounded by the
+*lookahead* — the minimum delay before one process's actions can affect
+another.  Here the logical processes are per-tenant shards whose only
+coupling is node-level resource contention: a shard's containers add
+demand to the shared nodes' best-effort pools, slowing everyone else's
+service times through the queueing-delay curve.
+
+The synchronizer therefore runs a strict two-phase loop per window:
+
+1. **advance** — every shard runs its own event heap up to the barrier
+   (shards are causally independent inside a window because remote
+   demand is held frozen);
+2. **exchange** — every shard publishes a :class:`ShardDigest` with its
+   per-node demand, the digests of all *other* shards are folded in
+   ascending shard-index order, and the sum is installed as that shard's
+   remote node pressure for the next window.
+
+Both phases are send-all-then-collect-all so that cross-process shard
+workers advance concurrently; the in-process channel simply does the
+work at collect time.  Window sizing is
+:func:`repro.sim.shard.conservative_window_s`.
+
+Idle-window skipping: when every shard's next live event lies beyond the
+upcoming barrier, intermediate barriers are provably no-ops (no events
+=> no demand change => identical digests), so the loop jumps straight to
+the barrier of the window containing the earliest event.  The skip is a
+pure function of the collected digests, preserving determinism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.cluster.resources import Resource
+from repro.sim.shard import ShardDigest, merge_remote_pressure
+
+
+class ShardChannel(Protocol):
+    """Two-phase control surface of one shard, local or remote.
+
+    ``begin_*`` must not block on the shard doing work; ``collect_*``
+    retrieves (or performs) it.  The synchronizer always calls begin on
+    every channel before collecting from any, so process-backed channels
+    overlap shard execution.
+    """
+
+    def begin_advance(self, barrier_time: float) -> None:
+        """Ask the shard to run its event heap up to ``barrier_time``."""
+
+    def collect_digest(self) -> ShardDigest:
+        """Block until the advance completes; return the shard's digest."""
+
+    def begin_apply(self, pressure: Dict[str, Dict[Resource, float]]) -> None:
+        """Deliver merged remote node demand for the next window."""
+
+    def collect_apply(self) -> None:
+        """Block until the pressure application is acknowledged."""
+
+
+@dataclass
+class SyncStats:
+    """Outcome of one synchronized run."""
+
+    barriers: int = 0
+    skipped_windows: int = 0
+    window_s: float = 0.0
+
+
+class ConservativeWindowSync:
+    """Drive a set of shard channels through the windowed barrier loop.
+
+    Parameters
+    ----------
+    channels:
+        One channel per shard, indexed by shard position; digests are
+        merged in this (ascending) order.
+    start_time, end_time:
+        Virtual-time span to cover.  Barriers sit at
+        ``start_time + k * window_s`` (clamped to ``end_time``), so the
+        barrier schedule is a pure function of the window size and never
+        accumulates floating-point drift.
+    window_s:
+        Barrier spacing from :func:`conservative_window_s`.
+    """
+
+    def __init__(
+        self,
+        channels: Sequence[ShardChannel],
+        start_time: float,
+        end_time: float,
+        window_s: float,
+    ) -> None:
+        if not channels:
+            raise ValueError("at least one shard channel is required")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if end_time < start_time:
+            raise ValueError(
+                f"end_time {end_time} precedes start_time {start_time}"
+            )
+        self.channels = list(channels)
+        self.start_time = float(start_time)
+        self.end_time = float(end_time)
+        self.window_s = float(window_s)
+
+    def _barrier_time(self, index: int) -> float:
+        time = self.start_time + index * self.window_s
+        return time if time < self.end_time else self.end_time
+
+    def run(self) -> SyncStats:
+        """Advance every shard to ``end_time`` through window barriers."""
+        stats = SyncStats(window_s=self.window_s)
+        channels = self.channels
+        final_index = max(
+            1, math.ceil((self.end_time - self.start_time) / self.window_s)
+        )
+        index = 0
+        while index < final_index:
+            index += 1
+            target = self._barrier_time(index)
+
+            for channel in channels:
+                channel.begin_advance(target)
+            digests: List[ShardDigest] = [
+                channel.collect_digest() for channel in channels
+            ]
+            stats.barriers += 1
+
+            if index >= final_index:
+                break
+
+            for shard_index, channel in enumerate(channels):
+                channel.begin_apply(merge_remote_pressure(digests, shard_index))
+            for channel in channels:
+                channel.collect_apply()
+
+            next_times = [
+                digest.next_event_time
+                for digest in digests
+                if digest.next_event_time is not None
+            ]
+            if not next_times:
+                # Every heap is drained; all remaining barriers are no-ops,
+                # so jump straight to the final one (clocks still advance
+                # to end_time there).
+                stats.skipped_windows += final_index - index - 1
+                index = final_index - 1
+                continue
+            min_next = min(next_times)
+            if min_next > target:
+                # The earliest future event lies in window ``containing``;
+                # every barrier before that window's end exchanges
+                # identical digests and can be skipped.  ceil() rounding
+                # either way is safe: a barrier too early is merely
+                # redundant, a barrier at the window end still executes
+                # the event (run_until is inclusive).
+                containing = math.ceil(
+                    (min_next - self.start_time) / self.window_s
+                )
+                next_index = min(max(index + 1, containing), final_index)
+                stats.skipped_windows += next_index - index - 1
+                index = next_index - 1
+        return stats
+
+
+__all__ = [
+    "ConservativeWindowSync",
+    "ShardChannel",
+    "SyncStats",
+]

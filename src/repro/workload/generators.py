@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.apps.runtime import ApplicationRuntime
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRNG
@@ -59,13 +61,16 @@ class WorkloadGenerator:
         self._stop_time: Optional[float] = None
         self.generated_requests = 0
         self.per_type_counts: Dict[str, int] = {name: 0 for name, _ in self.request_mix}
-        # Cached per-arrival state: the RNG substreams (one dict lookup each
-        # otherwise, via an f-string key) and the normalized mix as parallel
-        # name/probability sequences for the per-request type draw.
-        self._arrival_stream = rng.stream(f"workload:{runtime.app.name}")
-        self._mix_stream_name = f"workload-mix:{runtime.app.name}"
+        # Cached per-arrival state: buffered stream cursors (block draws of
+        # standard variates instead of one numpy dispatch per sample) and
+        # the normalized mix as a name list plus cumulative weights for the
+        # per-request inverse-CDF type draw.
+        self._arrival_cursor = rng.cursor(f"workload:{runtime.app.name}")
+        self._mix_cursor = rng.cursor(f"workload-mix:{runtime.app.name}")
         self._mix_names: List[str] = [name for name, _ in self.request_mix]
-        self._mix_probs: List[float] = [weight for _, weight in self.request_mix]
+        mix_cdf = np.asarray([weight for _, weight in self.request_mix]).cumsum()
+        mix_cdf /= mix_cdf[-1]
+        self._mix_cdf = mix_cdf
 
     # ------------------------------------------------------------------ run
     def start(self, duration_s: Optional[float] = None) -> None:
@@ -84,7 +89,7 @@ class WorkloadGenerator:
         if not self._running:
             return
         rate = max(self.pattern.rate_at(self.engine.now), 1e-9)
-        gap = float(self._arrival_stream.exponential(1.0 / rate))
+        gap = float(self._arrival_cursor.exponential(1.0 / rate))
         # Keep inter-arrival gaps bounded so a near-zero rate does not stall
         # the generator forever: re-evaluate the pattern at least every 5 s.
         gap = min(gap, 5.0)
@@ -103,9 +108,10 @@ class WorkloadGenerator:
         self._schedule_next_arrival()
 
     def _submit_one(self) -> None:
-        request_type = self.rng.choice(
-            self._mix_stream_name, self._mix_names, p=self._mix_probs
-        )
+        mix_cdf = self._mix_cdf
+        index = int(mix_cdf.searchsorted(self._mix_cursor.next_uniform(), side="right"))
+        last = len(self._mix_names) - 1
+        request_type = self._mix_names[index if index < last else last]
         self.runtime.submit_request(request_type)
         self.generated_requests += 1
         self.per_type_counts[request_type] = self.per_type_counts.get(request_type, 0) + 1

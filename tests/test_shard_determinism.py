@@ -1,0 +1,183 @@
+"""Determinism contract of the sharded engine (both tiers).
+
+Tier 1 — ``shards == 1`` is the classic engine: the sharded entry point
+bypasses every sharding code path, and two independent runs of the same
+spec (one through :func:`run_scenario`, one through
+:func:`run_sharded_scenario` with ``shards=1``) must produce
+byte-identical JSON across all six pinned scenario families (every
+controller/campaign/routing/multi-tenant shape the repo exercises).
+
+Tier 2 — ``shards >= 2`` pins its own contract: same seed + same shard
+count gives identical results on repeated runs, and the serial
+in-process execution mode is identical to the cross-process one (the
+worker-process fan-out must be pure transport, never semantics).
+
+Sharded results are intentionally *not* compared against unsharded ones:
+cross-shard demand is exchanged at window barriers instead of
+instantaneously, so the two engines are equivalent only statistically.
+"""
+
+import dataclasses
+import json
+from functools import partial
+
+import pytest
+
+from repro.experiments.interference import aggressor_victim
+from repro.experiments.scenario import (
+    ScenarioSpec,
+    TenantSpec,
+    random_campaign_builder,
+    run_scenario,
+)
+from repro.experiments.sharded import plan_shards, run_sharded_scenario
+from repro.sim.shard import (
+    ShardDigest,
+    conservative_window_s,
+    merge_remote_pressure,
+    partition_round_robin,
+)
+
+
+def pinned_families():
+    """The six pinned scenario families (kept small enough for CI)."""
+    return {
+        "single_none": ScenarioSpec(
+            application="social_network", seed=11, duration_s=8.0, load_rps=30.0,
+            controller="none",
+        ),
+        "single_aimd": ScenarioSpec(
+            application="hotel_reservation", seed=3, duration_s=6.0, load_rps=25.0,
+            controller="aimd",
+        ),
+        "single_firm_campaign": ScenarioSpec(
+            application="media_service", seed=7, duration_s=6.0, load_rps=20.0,
+            controller="firm",
+            campaign_builder=partial(random_campaign_builder, duration_s=6.0),
+            warmup_s=1.0,
+        ),
+        "single_routing": ScenarioSpec(
+            application="train_ticket", seed=2, duration_s=6.0, load_rps=20.0,
+            routing="ewma_latency",
+        ),
+        "multi_tenant": ScenarioSpec(
+            seed=5, duration_s=6.0, cluster_nodes=(2, 0),
+            tenants=[
+                TenantSpec(name="a", application="hotel_reservation", load_rps=10.0),
+                TenantSpec(name="b", application="social_network", load_rps=20.0,
+                           routing="ewma_latency"),
+            ],
+        ),
+        "interference": aggressor_victim(duration_s=5.0, seed=4, aggressor_load_rps=80.0),
+    }
+
+
+def _jsonable(value):
+    """Deterministic JSON-friendly projection of a result object."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "as_dict"):
+        return _jsonable(value.as_dict())
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _fingerprint(result) -> str:
+    """Full-precision byte fingerprint of one ExperimentResult."""
+    return json.dumps(
+        {
+            "fields": _jsonable(result),
+            "tenants": result.per_tenant_summary(),
+            "latencies": result.slo.latencies_ms,
+        },
+        indent=2,
+        default=str,
+        sort_keys=True,
+    )
+
+
+# -------------------------------------------------- tier 1: shards == 1
+@pytest.mark.parametrize("family", sorted(pinned_families()))
+def test_shards1_is_byte_identical_to_unsharded(family):
+    spec = pinned_families()[family]
+    unsharded = _fingerprint(run_scenario(spec))
+    via_sharded_entry = _fingerprint(run_sharded_scenario(spec, shards=1))
+    assert via_sharded_entry == unsharded
+
+
+# -------------------------------------------------- tier 2: shards >= 2
+def test_sharded_repeat_runs_are_identical():
+    spec = pinned_families()["interference"]
+    first = _fingerprint(run_sharded_scenario(spec, shards=2, mode="process"))
+    second = _fingerprint(run_sharded_scenario(spec, shards=2, mode="process"))
+    assert first == second
+
+
+def test_inprocess_and_process_modes_are_identical():
+    spec = pinned_families()["multi_tenant"]
+    inprocess = _fingerprint(run_sharded_scenario(spec, shards=2, mode="inprocess"))
+    process = _fingerprint(run_sharded_scenario(spec, shards=2, mode="process"))
+    assert inprocess == process
+
+
+def test_sharded_result_has_all_tenants_in_global_order():
+    spec = pinned_families()["multi_tenant"]
+    result = run_sharded_scenario(spec, shards=2, mode="inprocess")
+    assert list(result.tenant_results) == [tenant.name for tenant in spec.tenants]
+    assert result.slo.completed == sum(
+        tenant.slo.completed for tenant in result.tenant_results.values()
+    )
+
+
+# ------------------------------------------------------------ plan rules
+def test_plan_rejects_single_tenant_specs():
+    with pytest.raises(ValueError, match="multi-tenant"):
+        plan_shards(pinned_families()["single_none"], 2)
+
+
+def test_plan_rejects_more_shards_than_tenants():
+    with pytest.raises(ValueError, match="tenant"):
+        plan_shards(pinned_families()["multi_tenant"], 3)
+
+
+def test_plan_window_is_clamped_between_floor_and_sample_period():
+    plan = plan_shards(pinned_families()["multi_tenant"], 2)
+    spec = pinned_families()["multi_tenant"]
+    assert 0.05 <= plan.window_s <= spec.sample_period_s
+
+
+# ------------------------------------------------------- sim primitives
+def test_partition_round_robin_deals_in_index_order():
+    assert partition_round_robin(["a", "b", "c", "d", "e"], 2) == [
+        ["a", "c", "e"],
+        ["b", "d"],
+    ]
+    with pytest.raises(ValueError):
+        partition_round_robin(["a"], 2)
+
+
+def test_conservative_window_floor_and_cap():
+    assert conservative_window_s(0.001) == 0.05       # floor
+    assert conservative_window_s(0.3) == 0.3           # pass-through
+    assert conservative_window_s(5.0) == 1.0           # sample-period cap
+    assert conservative_window_s(0.3, cross_shard_lookahead_s=0.1) == 0.1
+
+
+def test_merge_remote_pressure_excludes_own_shard_and_sums_others():
+    digests = [
+        ShardDigest(shard_index=0, time=1.0, node_pressure={"n1": {"cpu": 1.0}}),
+        ShardDigest(shard_index=1, time=1.0, node_pressure={"n1": {"cpu": 2.0}}),
+        ShardDigest(shard_index=2, time=1.0, node_pressure={"n2": {"cpu": 4.0}}),
+    ]
+    merged = merge_remote_pressure(digests, for_shard=0)
+    assert merged == {"n1": {"cpu": 2.0}, "n2": {"cpu": 4.0}}
+    merged = merge_remote_pressure(digests, for_shard=2)
+    assert merged == {"n1": {"cpu": 3.0}}
