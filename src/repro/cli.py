@@ -138,7 +138,11 @@ def _run_interference(args: argparse.Namespace):
             kwargs["victim_load_rps"] = args.load
         if args.application is not None:
             kwargs["victim_application"] = args.application
-    return run_interference(preset=preset, **kwargs).as_dict()
+    return run_interference(
+        preset=preset,
+        telemetry_mode=getattr(args, "telemetry_mode", None),
+        **kwargs,
+    ).as_dict()
 
 
 def _run_resilience(args: argparse.Namespace):
@@ -154,6 +158,7 @@ def _run_resilience(args: argparse.Namespace):
         application=args.application,
         controller=getattr(args, "controller", None),
         scope=getattr(args, "scope", None),
+        telemetry_mode=getattr(args, "telemetry_mode", None),
     )
     return outcome.as_dict()
 
@@ -217,6 +222,9 @@ def _run_sharded_experiment(args: argparse.Namespace):
         if args.application is not None:
             kwargs["victim_application"] = args.application
     spec = builder(**kwargs)
+    telemetry_mode = getattr(args, "telemetry_mode", None)
+    if telemetry_mode is not None:
+        spec = spec.with_overrides(telemetry_mode=telemetry_mode)
 
     shards = max(1, int(getattr(args, "shards", 1) or 1))
     payload: Dict[str, Any] = {
@@ -315,6 +323,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-mode", default=None, choices=("process", "inprocess"),
         help="shard execution mode for the sharded experiment "
         "(default process; inprocess runs shards serially in this process)",
+    )
+    run_parser.add_argument(
+        "--telemetry-mode", default=None, choices=("sketch", "raw"),
+        help="telemetry pipeline for the interference/resilience/sharded "
+        "experiments: sketch (constant-memory streaming sketches, the "
+        "default) or raw (full sample/trace retention, the historical "
+        "byte-compatible behaviour)",
     )
     run_parser.add_argument("--out", default=None, help="write the JSON result to this path")
 
@@ -627,8 +642,8 @@ def _run_perf(args: argparse.Namespace) -> int:
             print(f"[perf] {comparison.describe()}", file=sys.stderr)
         if any(comparison.regressed for comparison in comparisons):
             print(
-                "[perf] FAILED: events/sec regressed more than "
-                f"{threshold:.0%} vs {baseline_path}",
+                "[perf] FAILED: throughput or peak RSS regressed past the "
+                f"gate thresholds vs {baseline_path}",
                 file=sys.stderr,
             )
             exit_code = 1

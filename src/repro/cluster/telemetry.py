@@ -3,9 +3,22 @@
 Table 2 of the paper lists the telemetry signals FIRM collects per
 container: CPU usage, memory usage, filesystem read/write, network
 transmit/receive, and perf-counter-derived LLC / DRAM access metrics.  The
-:class:`TelemetryCollector` samples the simulated cluster on a fixed period
-and keeps a bounded history per container, which the tracing coordinator
-exposes to the Extractor and the RL agent.
+:class:`TelemetryCollector` samples the simulated cluster on a fixed period,
+which the tracing coordinator exposes to the Extractor and the RL agent.
+
+The collector runs in one of two modes:
+
+* ``"raw"`` — the historical pipeline: a bounded deque of slotted
+  :class:`TelemetrySample` objects per container (O(history × containers)
+  memory), with windowed queries answered by scanning the deques.
+* ``"sketch"`` — constant-memory: one fleet-wide set of ring-buffer numpy
+  aggregates (per-bucket count / sum / max of usage and utilization for
+  every container at once, updated vectorized once per sampling tick) plus
+  a per-container P² CPU-utilization quantile estimator, with only a short
+  raw tail retained for ``latest()``-style point queries.  Windowed
+  queries fold the ring buckets — window edges are bucket-aligned, so they
+  over-include by up to one sampling period (the documented sketch
+  accuracy tradeoff).
 """
 
 from __future__ import annotations
@@ -14,8 +27,18 @@ from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional
 
+import numpy as np
+
 from repro.cluster.resources import RESOURCE_TYPES, ResourceUsage, ResourceVector
 from repro.sim.engine import SimulationEngine
+from repro.telemetry.p2 import P2Quantile
+
+#: Raw samples kept per container in sketch mode (point queries only).
+SKETCH_RAW_TAIL = 8
+
+#: Ring buckets in sketch mode; at the default 1 s period this spans 96 s,
+#: comfortably covering FIRM's 60 s reclaim window.
+SKETCH_BUCKETS = 96
 
 
 @dataclass(slots=True)
@@ -90,7 +113,13 @@ class TelemetryCollector:
         Sampling period in seconds (default 1 s, matching the paper's
         near-real-time telemetry granularity).
     history:
-        Number of samples retained per container.
+        Number of samples retained per container (raw mode; sketch mode
+        caps the raw tail at :data:`SKETCH_RAW_TAIL`).
+    mode:
+        ``"raw"`` (full per-sample history, the historical behaviour) or
+        ``"sketch"`` (constant-memory ring aggregates).  Defaults to raw
+        so direct construction keeps its historical semantics; the
+        experiment harness selects the mode from the scenario spec.
     """
 
     def __init__(
@@ -99,15 +128,35 @@ class TelemetryCollector:
         engine: SimulationEngine,
         period_s: float = 1.0,
         history: int = 600,
+        mode: str = "raw",
     ) -> None:
+        if mode not in ("raw", "sketch"):
+            raise ValueError(f"unknown telemetry mode: {mode!r}")
         self.cluster = cluster
         self.engine = engine
         self.period_s = float(period_s)
-        self.history = int(history)
+        self.mode = mode
+        self.history = int(history) if mode == "raw" else min(int(history), SKETCH_RAW_TAIL)
         self._samples: Dict[str, Deque[TelemetrySample]] = defaultdict(
             lambda: deque(maxlen=self.history)
         )
+        #: Latest sample per container, grouped by service, in first-sample
+        #: order — so ``service_utilization`` no longer scans every
+        #: container's deque yet folds the same samples in the same order.
+        self._latest_by_service: Dict[str, Dict[str, TelemetrySample]] = defaultdict(dict)
         self._running = False
+        if mode == "sketch":
+            self._bucket_s = self.period_s
+            self._buckets = SKETCH_BUCKETS
+            n_resources = len(RESOURCE_TYPES)
+            self._cols: Dict[str, int] = {}
+            self._bucket_ids = np.full(self._buckets, -1, dtype=np.int64)
+            self._counts = np.zeros((self._buckets, 0), dtype=np.int32)
+            self._usage_sum = np.zeros((self._buckets, 0, n_resources), dtype=np.float32)
+            self._usage_max = np.zeros_like(self._usage_sum)
+            self._util_sum = np.zeros_like(self._usage_sum)
+            self._util_max = np.zeros_like(self._usage_sum)
+            self._cpu_p99: Dict[str, P2Quantile] = {}
 
     # ----------------------------------------------------------------- start
     def start(self) -> None:
@@ -121,15 +170,28 @@ class TelemetryCollector:
 
     # --------------------------------------------------------------- sampling
     def sample_all(self) -> List[TelemetrySample]:
-        """Take one sample of every container; also returns the batch."""
-        batch: List[TelemetrySample] = []
-        for container in self.cluster.all_containers():
-            sample = self.sample_container(container)
-            batch.append(sample)
+        """Take one sample of every container; also returns the batch.
+
+        In sketch mode the whole batch lands in the ring aggregates as a
+        single vectorized update (one fancy-indexed add/max per array per
+        tick for the entire fleet).
+        """
+        batch: List[TelemetrySample] = [
+            self._sample_one(container) for container in self.cluster.all_containers()
+        ]
+        if self.mode == "sketch" and batch:
+            self._sketch_update(batch)
         return batch
 
     def sample_container(self, container) -> TelemetrySample:
-        """Sample a single container and append to its history.
+        """Sample a single container and append to its history."""
+        sample = self._sample_one(container)
+        if self.mode == "sketch":
+            self._sketch_update([sample])
+        return sample
+
+    def _sample_one(self, container) -> TelemetrySample:
+        """Observe one container and append to its raw history.
 
         The capped demand is computed once and shared between the usage
         and utilization fields (they are derived from the same instant),
@@ -150,7 +212,73 @@ class TelemetryCollector:
             tenant=container.tenant,
         )
         self._samples[container.id].append(sample)
+        self._latest_by_service[sample.service_name][container.id] = sample
         return sample
+
+    # ------------------------------------------------------- sketch plumbing
+    def _column(self, container_id: str) -> int:
+        """Column index for a container, growing the arrays on first sight."""
+        col = self._cols.get(container_id)
+        if col is not None:
+            return col
+        col = len(self._cols)
+        capacity = self._counts.shape[1]
+        if col >= capacity:
+            new_capacity = max(8, capacity * 2)
+            grow = new_capacity - capacity
+            self._counts = np.pad(self._counts, ((0, 0), (0, grow)))
+            self._usage_sum = np.pad(self._usage_sum, ((0, 0), (0, grow), (0, 0)))
+            self._usage_max = np.pad(self._usage_max, ((0, 0), (0, grow), (0, 0)))
+            self._util_sum = np.pad(self._util_sum, ((0, 0), (0, grow), (0, 0)))
+            self._util_max = np.pad(self._util_max, ((0, 0), (0, grow), (0, 0)))
+        self._cols[container_id] = col
+        return col
+
+    def _sketch_update(self, batch: List[TelemetrySample]) -> None:
+        """Fold one same-instant batch of samples into the ring aggregates."""
+        bucket = int(batch[0].time // self._bucket_s)
+        slot = bucket % self._buckets
+        if self._bucket_ids[slot] != bucket:
+            self._bucket_ids[slot] = bucket
+            self._counts[slot, :] = 0
+            self._usage_sum[slot] = 0.0
+            self._usage_max[slot] = 0.0
+            self._util_sum[slot] = 0.0
+            self._util_max[slot] = 0.0
+        n = len(batch)
+        cols = np.empty(n, dtype=np.intp)
+        usage_rows = np.empty((n, len(RESOURCE_TYPES)), dtype=np.float32)
+        util_rows = np.empty_like(usage_rows)
+        p2s = self._cpu_p99
+        for i, sample in enumerate(batch):
+            cols[i] = self._column(sample.container_id)
+            # Normalized vectors hold every resource in canonical order.
+            usage_rows[i] = list(sample.usage.values.values())
+            util_rows[i] = list(sample.utilization.values.values())
+            estimator = p2s.get(sample.container_id)
+            if estimator is None:
+                estimator = p2s[sample.container_id] = P2Quantile(0.99)
+            estimator.add(float(util_rows[i, 0]))
+        # One container appears at most once per batch, so the fancy-indexed
+        # assignment below never aliases.
+        self._counts[slot, cols] += 1
+        self._usage_sum[slot, cols] += usage_rows
+        self._usage_max[slot, cols] = np.maximum(self._usage_max[slot, cols], usage_rows)
+        self._util_sum[slot, cols] += util_rows
+        self._util_max[slot, cols] = np.maximum(self._util_max[slot, cols], util_rows)
+
+    def _window_slots(self, duration_s: float) -> List[int]:
+        """Live ring slots for buckets overlapping the trailing window."""
+        now = self.engine.now
+        end = int(now // self._bucket_s)
+        start = max(int((now - duration_s) // self._bucket_s), end - self._buckets + 1)
+        slots: List[int] = []
+        ids = self._bucket_ids
+        for bucket in range(start, end + 1):
+            slot = bucket % self._buckets
+            if ids[slot] == bucket:
+                slots.append(slot)
+        return slots
 
     # ---------------------------------------------------------------- queries
     def latest(self, container_id: str) -> Optional[TelemetrySample]:
@@ -161,25 +289,111 @@ class TelemetryCollector:
         return samples[-1]
 
     def window(self, container_id: str, duration_s: float) -> List[TelemetrySample]:
-        """Samples for ``container_id`` within the last ``duration_s`` seconds."""
-        samples = self._samples.get(container_id, deque())
+        """Retained samples for ``container_id`` in the last ``duration_s`` seconds.
+
+        Walks the history backwards and stops at the cutoff instead of
+        scanning the whole deque — samples are appended in time order, so
+        the result is identical to the historical full scan.  In sketch
+        mode only the short raw tail is retained; windowed aggregates come
+        from :meth:`windowed_peak_usage` and friends.
+        """
+        samples = self._samples.get(container_id)
+        if not samples:
+            return []
         cutoff = self.engine.now - duration_s
-        return [sample for sample in samples if sample.time >= cutoff]
+        recent: List[TelemetrySample] = []
+        for sample in reversed(samples):
+            if sample.time < cutoff:
+                break
+            recent.append(sample)
+        recent.reverse()
+        return recent
+
+    def windowed_peak_usage(
+        self, container_id: str, duration_s: float, min_samples: int
+    ) -> Optional[ResourceVector]:
+        """Peak per-resource usage over the trailing window.
+
+        Returns ``None`` when fewer than ``min_samples`` observations fall
+        inside the window.  The raw path folds the retained samples exactly
+        as FIRM's reclaim scan always has; the sketch path folds the
+        per-bucket maxima (bucket-aligned window edges).
+        """
+        if self.mode == "sketch":
+            col = self._cols.get(container_id)
+            if col is None:
+                return None
+            slots = self._window_slots(duration_s)
+            if not slots:
+                return None
+            if int(self._counts[slots, col].sum()) < min_samples:
+                return None
+            peak = self._usage_max[slots, col, :].max(axis=0)
+            return ResourceVector(
+                {resource: float(peak[i]) for i, resource in enumerate(RESOURCE_TYPES)}
+            )
+        samples = self.window(container_id, duration_s)
+        if len(samples) < min_samples:
+            return None
+        peak = {resource: 0.0 for resource in RESOURCE_TYPES}
+        for sample in samples:
+            for resource in RESOURCE_TYPES:
+                peak[resource] = max(peak[resource], sample.usage[resource])
+        return ResourceVector(peak)
+
+    def cpu_utilization_p99(self, container_id: str) -> float:
+        """Run-long streaming p99 of a container's CPU utilization.
+
+        Served by the per-container P² estimator in sketch mode; in raw
+        mode it is computed from the retained history on demand.
+        """
+        if self.mode == "sketch":
+            estimator = self._cpu_p99.get(container_id)
+            return estimator.value() if estimator is not None else 0.0
+        samples = self._samples.get(container_id)
+        if not samples:
+            return 0.0
+        cpu = RESOURCE_TYPES[0]
+        values = [sample.utilization[cpu] for sample in samples]
+        return float(np.percentile(values, 99.0))
 
     def service_utilization(self, service_name: str) -> ResourceVector:
-        """Mean utilization across the latest samples of a service's containers."""
-        latest = [
-            samples[-1]
-            for samples in self._samples.values()
-            if samples and samples[-1].service_name == service_name
-        ]
+        """Mean utilization across the latest samples of a service's containers.
+
+        Reads the per-service latest-sample index instead of scanning every
+        container's history; the index preserves first-sample order, so the
+        float summation order (and hence the result) matches the historical
+        full scan bit for bit.
+        """
+        latest = self._latest_by_service.get(service_name)
         if not latest:
             return ResourceVector()
         total = ResourceVector()
-        for sample in latest:
+        for sample in latest.values():
             total = total + sample.utilization
         return total * (1.0 / len(latest))
 
     def container_ids(self) -> List[str]:
         """All container ids with at least one sample."""
         return sorted(self._samples)
+
+    # ---------------------------------------------------------------- memory
+    def memory_bytes(self) -> int:
+        """Retained telemetry footprint (samples, indexes, and sketches)."""
+        from repro.telemetry.memory import deep_sizeof
+
+        roots: List[object] = [self._samples, self._latest_by_service]
+        if self.mode == "sketch":
+            roots.extend(
+                (
+                    self._cols,
+                    self._bucket_ids,
+                    self._counts,
+                    self._usage_sum,
+                    self._usage_max,
+                    self._util_sum,
+                    self._util_max,
+                    self._cpu_p99,
+                )
+            )
+        return deep_sizeof(tuple(roots))

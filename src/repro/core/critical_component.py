@@ -133,20 +133,28 @@ class CriticalComponentExtractor:
         return float(np.percentile(data, 99)) / median
 
     # ----------------------------------------------------------- localization
+    def select(self, features: Sequence[InstanceFeatures]) -> List[InstanceFeatures]:
+        """SVM-flagged candidates among precomputed features (batch classify).
+
+        One vectorized :meth:`IncrementalSVM.classify` call replaces the
+        per-instance ``classify_one`` loop; decisions are per-row, so the
+        answers match the loop.  Sketch mode feeds this directly with
+        features computed from the coordinator's windowed sketches.
+        """
+        features = list(features)
+        if not features:
+            return []
+        matrix = np.vstack([feature.as_vector() for feature in features])
+        decisions = self.svm.classify(matrix)
+        return [feature for feature, flag in zip(features, decisions) if flag]
+
     def extract(
         self,
         paths: Sequence[CriticalPath],
         traces: Sequence[Trace],
     ) -> List[InstanceFeatures]:
         """Return the candidate instances the SVM flags for re-provisioning."""
-        features = self.compute_features(paths, traces)
-        candidates: List[InstanceFeatures] = []
-        for feature in features:
-            if self.svm.classify_one(
-                feature.relative_importance, feature.congestion_intensity
-            ):
-                candidates.append(feature)
-        return candidates
+        return self.select(self.compute_features(paths, traces))
 
     def rank(
         self,

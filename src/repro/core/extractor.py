@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.critical_component import (
     CriticalComponentExtractor,
     InstanceFeatures,
@@ -74,6 +76,25 @@ class Extractor:
         self.component_extractor = CriticalComponentExtractor(svm=svm)
 
     # -------------------------------------------------------------- analysis
+    @property
+    def _sketch_mode(self) -> bool:
+        """Whether the coordinator serves windowed features from sketches."""
+        return getattr(self.coordinator, "telemetry_mode", "raw") == "sketch"
+
+    def _sketch_features(self, paths: Sequence[CriticalPath]) -> List[InstanceFeatures]:
+        """Windowed (RI, CI) features for every instance on the given CPs.
+
+        Sketch mode: the coordinator's per-instance co-moments and sojourn
+        histograms answer in O(instances × buckets), independent of how
+        many traces the window saw — no per-request alignment scans.
+        """
+        instances = sorted({span.instance for path in paths for span in path.spans})
+        return self.coordinator.instance_features(
+            self.window_s,
+            instances=instances,
+            min_samples=self.component_extractor.min_samples,
+        )
+
     def detect(self) -> bool:
         """True when any request type's tail latency currently violates its SLO."""
         return self.coordinator.has_slo_violation(
@@ -86,6 +107,11 @@ class Extractor:
         When no SLO violation is detected (and ``force`` is False) the
         result carries no candidates so the controller can skip mitigation
         and consider scaling down instead.
+
+        Critical paths always come from retained traces (the reservoir
+        sample in sketch mode); the per-instance features feeding the SVM
+        come from the coordinator's windowed sketches in sketch mode and
+        from the retained traces themselves in raw mode.
         """
         violated = self.detect()
         result = ExtractionResult(time_s=self.coordinator.engine.now, slo_violated=violated)
@@ -95,7 +121,11 @@ class Extractor:
         if not traces:
             return result
         result.critical_paths = self.path_extractor.extract_all(traces)
-        result.candidates = self.component_extractor.extract(result.critical_paths, traces)
+        if self._sketch_mode:
+            features = self._sketch_features(result.critical_paths)
+            result.candidates = self.component_extractor.select(features)
+        else:
+            result.candidates = self.component_extractor.extract(result.critical_paths, traces)
         return result
 
     # -------------------------------------------------------------- training
@@ -105,6 +135,15 @@ class Extractor:
         if not traces:
             return 0.0
         paths = self.path_extractor.extract_all(traces)
+        if self._sketch_mode:
+            features = self._sketch_features(paths)
+            if not features:
+                return 0.0
+            labels = [
+                1 if feature.service in culprit_services else 0 for feature in features
+            ]
+            matrix = np.vstack([feature.as_vector() for feature in features])
+            return self.component_extractor.svm.partial_fit(matrix, labels)
         return self.component_extractor.train_from_ground_truth(
             paths, traces, culprit_services
         )
@@ -116,4 +155,12 @@ class Extractor:
         if not traces:
             return []
         paths = self.path_extractor.extract_all(traces)
+        if self._sketch_mode:
+            features = self._sketch_features(paths)
+            if not features:
+                return []
+            matrix = np.vstack([feature.as_vector() for feature in features])
+            scores = self.component_extractor.svm.decision_function(matrix)
+            ranked = sorted(zip(features, scores), key=lambda pair: pair[1], reverse=True)
+            return [(feature, float(score)) for feature, score in ranked]
         return self.component_extractor.rank(paths, traces)

@@ -383,19 +383,19 @@ class FIRMController(ResourceController):
         return reclaimed
 
     def _windowed_peak_usage(self, container, telemetry):
-        """Peak per-resource usage over the reclaim window (None if no data)."""
+        """Peak per-resource usage over the reclaim window (None if no data).
+
+        Delegates to the collector, which answers from retained samples in
+        raw mode (the historical fold, unchanged) or from the ring-buffer
+        per-bucket maxima in sketch mode.
+        """
         if telemetry is None:
             return None
-        samples = telemetry.window(container.id, self.config.reclaim_window_s)
-        if len(samples) < self.config.reclaim_min_samples:
-            return None
-        from repro.cluster.resources import RESOURCE_TYPES, ResourceVector
-
-        peak = {resource: 0.0 for resource in RESOURCE_TYPES}
-        for sample in samples:
-            for resource in RESOURCE_TYPES:
-                peak[resource] = max(peak[resource], sample.usage[resource])
-        return ResourceVector(peak)
+        return telemetry.windowed_peak_usage(
+            container.id,
+            self.config.reclaim_window_s,
+            self.config.reclaim_min_samples,
+        )
 
     # --------------------------------------------------------------- training
     def train_svm_from_ground_truth(self, culprit_services: List[str]) -> float:

@@ -166,6 +166,12 @@ class ExperimentResult:
         #: dataclass-to-JSON conversion of single-tenant results is
         #: byte-for-byte identical to the pre-multi-tenant output.
         self.tenant_results: Dict[str, TenantResult] = {}
+        #: Run-level mergeable latency digest (sketch telemetry mode only;
+        #: None in raw mode).  Kept off the dataclass fields for the same
+        #: JSON-compatibility reason as ``tenant_results``.  For sharded
+        #: runs the merge layer replaces this with the ascending-shard-order
+        #: fold of the per-shard digests.
+        self.telemetry_digest = None
 
     @property
     def mean_requested_cpu(self) -> float:
@@ -218,15 +224,21 @@ class ExperimentHarness:
         scheduler: Optional[Scheduler] = None,
         node_specs: Optional[List[NodeSpec]] = None,
         request_counter=None,
+        telemetry_mode: str = "raw",
     ) -> None:
         self.engine = engine
         self.rng = rng
+        #: Telemetry pipeline mode shared by the collector and every
+        #: tenant's coordinator: "raw" (full history, the historical
+        #: behaviour and the default for direct construction) or "sketch"
+        #: (constant-memory windowed sketches + reservoir trace retention).
+        self.telemetry_mode = telemetry_mode
         #: Optional request-id counter shared by every tenant runtime; the
         #: sharded engine gives each shard harness its own so in-process
         #: shard sessions number requests like freshly spawned processes.
         self.request_counter = request_counter
         self.cluster = Cluster(engine, rng, node_specs=node_specs, scheduler=scheduler)
-        self.telemetry = TelemetryCollector(self.cluster, engine)
+        self.telemetry = TelemetryCollector(self.cluster, engine, mode=telemetry_mode)
         #: All tenants, in deployment order.  Single-tenant harnesses hold
         #: exactly one untenanted entry whose wiring matches the classic
         #: harness; its members are also reachable through the legacy
@@ -239,7 +251,12 @@ class ExperimentHarness:
     # ------------------------------------------------------- tenant plumbing
     def _add_primary_tenant(self, app: ServiceGraph) -> TenantRuntime:
         """Wire the classic untenanted tenant (single-tenant harness)."""
-        coordinator = TracingCoordinator(self.engine, telemetry=self.telemetry)
+        coordinator = TracingCoordinator(
+            self.engine,
+            telemetry=self.telemetry,
+            telemetry_mode=self.telemetry_mode,
+            rng=self.rng,
+        )
         runtime = ApplicationRuntime(
             app, self.cluster, coordinator, self.engine,
             request_counter=self.request_counter,
@@ -281,7 +298,13 @@ class ExperimentHarness:
         app = build_application(tenant_spec.application).namespaced(name)
         tenant_rng = self.rng.spawn(f"tenant:{name}")
         view = TenantClusterView(self.cluster, name)
-        coordinator = TracingCoordinator(self.engine, telemetry=self.telemetry, tenant=name)
+        coordinator = TracingCoordinator(
+            self.engine,
+            telemetry=self.telemetry,
+            tenant=name,
+            telemetry_mode=self.telemetry_mode,
+            rng=tenant_rng,
+        )
         runtime = ApplicationRuntime(
             app, view, coordinator, self.engine, tenant=name,
             request_counter=self.request_counter,
@@ -448,6 +471,7 @@ class ExperimentHarness:
         scheduler: Optional[Scheduler] = None,
         node_specs: Optional[List[NodeSpec]] = None,
         request_counter=None,
+        telemetry_mode: str = "raw",
     ) -> "ExperimentHarness":
         """Build a harness for one of the four benchmark applications."""
         engine = SimulationEngine()
@@ -455,7 +479,7 @@ class ExperimentHarness:
         app = build_application(application)
         harness = cls(
             app, engine, rng, scheduler=scheduler, node_specs=node_specs,
-            request_counter=request_counter,
+            request_counter=request_counter, telemetry_mode=telemetry_mode,
         )
         harness.runtime.deploy()
         harness.telemetry.start()
@@ -486,6 +510,7 @@ class ExperimentHarness:
             scheduler=cls._scheduler_from_spec(spec, SeededRNG(spec.seed)),
             node_specs=cls._node_specs_from_spec(spec),
             request_counter=request_counter,
+            telemetry_mode=spec.telemetry_mode,
         )
         harness.spec = spec
         if spec.routing is not None:
@@ -517,6 +542,7 @@ class ExperimentHarness:
             scheduler=cls._scheduler_from_spec(spec, rng),
             node_specs=cls._node_specs_from_spec(spec),
             request_counter=request_counter,
+            telemetry_mode=spec.telemetry_mode,
         )
         harness.spec = spec
         if spec.routing is not None:
@@ -838,6 +864,12 @@ class ExperimentHarness:
         )
         if self.is_multi_tenant:
             result.tenant_results = tenant_results
+        if self.telemetry_mode == "sketch":
+            from repro.telemetry.digest import merge_telemetry_digests
+
+            result.telemetry_digest = merge_telemetry_digests(
+                [t[0].coordinator.telemetry_digest() for t in trackers]
+            )
         return result
 
 

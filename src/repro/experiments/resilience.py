@@ -34,6 +34,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.anomaly.anomalies import ANOMALY_TYPES, AnomalyScope, AnomalyType
 from repro.anomaly.campaigns import (
     AnomalyCampaign,
@@ -108,6 +110,10 @@ class ResilienceCase:
         Optional (x86, ppc64) topology override; None keeps the paper's
         15-node default (multi-tenant cases default to a small shared
         cluster where interference is visible).
+    telemetry_mode:
+        Telemetry pipeline mode: ``"sketch"`` (the default; constant-
+        memory sketches feed the detector) or ``"raw"`` (full
+        sample/trace retention, the historical behaviour).
     """
 
     application: str = "social_network"
@@ -125,11 +131,16 @@ class ResilienceCase:
     significant_intensity: float = 0.5
     train_svm: bool = False
     cluster_nodes: Optional[Tuple[int, int]] = None
+    telemetry_mode: str = "sketch"
 
     def __post_init__(self) -> None:
         if self.campaign not in CAMPAIGN_KINDS:
             known = ", ".join(CAMPAIGN_KINDS)
             raise ValueError(f"unknown campaign kind {self.campaign!r}; known: {known}")
+        if self.telemetry_mode not in ("raw", "sketch"):
+            raise ValueError(
+                f"telemetry_mode must be 'raw' or 'sketch', got {self.telemetry_mode!r}"
+            )
         self.scope = AnomalyScope(self.scope).value
 
     @property
@@ -285,6 +296,7 @@ def resilience_scenario_spec(case: ResilienceCase) -> ScenarioSpec:
         return ScenarioSpec(
             seed=case.seed,
             duration_s=duration,
+            telemetry_mode=case.telemetry_mode,
             cluster_nodes=case.cluster_nodes or (2, 0),
             tenants=[
                 TenantSpec(
@@ -312,6 +324,7 @@ def resilience_scenario_spec(case: ResilienceCase) -> ScenarioSpec:
         campaign=campaign,
         replicas=replicas,
         cluster_nodes=case.cluster_nodes,
+        telemetry_mode=case.telemetry_mode,
     )
 
 
@@ -357,13 +370,29 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
         if not traces:
             return
         paths = path_extractor.extract_all(traces)
-        features = component_extractor.compute_features(paths, traces)
+        if coordinator.telemetry_mode == "sketch":
+            # Windowed (RI, CI) from the coordinator's per-instance
+            # sketches, restricted to instances on the window's CPs.
+            instances = sorted(
+                {span.instance for path in paths for span in path.spans}
+            )
+            features = coordinator.instance_features(
+                case.window_s,
+                instances=instances,
+                min_samples=component_extractor.min_samples,
+            )
+        else:
+            features = component_extractor.compute_features(paths, traces)
         if not features:
             return
         truth = set()
         flagged = set()
-        svm = component_extractor.svm
-        for feature in features:
+        # Classify the already-computed features directly instead of
+        # extract(), which would recompute RI/CI over every path — and as
+        # one vectorized SVM call rather than per-instance classify_one.
+        matrix = np.vstack([feature.as_vector() for feature in features])
+        decisions = component_extractor.svm.classify(matrix)
+        for feature, flag in zip(features, decisions):
             service = feature.service
             on_injected_node = False
             try:
@@ -374,9 +403,7 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
                 pass
             if service in truth_targets or on_injected_node:
                 truth.add(service)
-            # Classify the already-computed features directly instead of
-            # extract(), which would recompute RI/CI over every path.
-            if svm.classify_one(feature.relative_importance, feature.congestion_intensity):
+            if flag:
                 flagged.add(service)
         hits = len(flagged & truth)
         windows.append(
@@ -390,9 +417,16 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
             )
         )
         if case.train_svm:
-            component_extractor.train_from_ground_truth(
-                paths, traces, sorted(truth_targets)
-            )
+            if coordinator.telemetry_mode == "sketch":
+                labels = [
+                    1 if feature.service in truth_targets else 0
+                    for feature in features
+                ]
+                component_extractor.svm.partial_fit(matrix, labels)
+            else:
+                component_extractor.train_from_ground_truth(
+                    paths, traces, sorted(truth_targets)
+                )
 
     harness.engine.schedule_recurring(
         case.window_s, _evaluate, name="resilience-evaluate", until=spec.duration_s

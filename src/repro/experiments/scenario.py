@@ -171,6 +171,15 @@ class ScenarioSpec:
         right after deployment, so load-balancing policies have a replica
         set to choose over from the first request.  Multi-tenant scenarios
         use the per-tenant field instead.
+    telemetry_mode:
+        ``"sketch"`` (default) runs the constant-memory telemetry pipeline:
+        ring-buffer windowed statistics, P² quantile estimators, and
+        reservoir-sampled trace retention.  ``"raw"`` restores the
+        historical full-history pipeline byte-identically (full per-sample
+        telemetry deques, FIFO trace store, per-query windowed scans) —
+        the compatibility flag for trace-distribution studies and
+        regression baselines.  The mode is deliberately excluded from
+        ``scenario_id`` so sweep keys stay stable.
     """
 
     application: str = "social_network"
@@ -190,6 +199,7 @@ class ScenarioSpec:
     cluster_nodes: Optional[Tuple[int, int]] = None
     routing: Optional[str] = None
     replicas: Optional[Dict[str, int]] = None
+    telemetry_mode: str = "sketch"
 
     @property
     def is_multi_tenant(self) -> bool:

@@ -50,6 +50,7 @@ from repro.metrics.slo import MitigationTracker, merge_slo_trackers
 from repro.sim.shard import (
     ShardDigest,
     conservative_window_s,
+    merge_telemetry_digests,
     partition_round_robin,
 )
 from repro.sim.sync import ConservativeWindowSync, SyncStats
@@ -362,6 +363,12 @@ def merge_shard_results(plan: ShardPlan, outcomes: Sequence[ShardOutcome]) -> Ex
         dropped_requests=sum(o.result.dropped_requests for o in ordered_outcomes),
     )
     result.tenant_results = tenant_results
+    # Per-shard telemetry digests fold in ascending shard order; the bins
+    # merge by integer addition, so the merged sketch is independent of the
+    # shard grouping (and None when the run used raw telemetry mode).
+    result.telemetry_digest = merge_telemetry_digests(
+        [o.result.telemetry_digest for o in ordered_outcomes]
+    )
     return result
 
 

@@ -20,6 +20,7 @@ from repro.perf.harness import (
     DEFAULT_BASELINE_PATH,
     DEFAULT_SCALING_PATH,
     REGRESSION_THRESHOLD,
+    RSS_REGRESSION_THRESHOLD,
     BenchmarkResult,
     PerfReport,
     compare_reports,
@@ -39,6 +40,7 @@ __all__ = [
     "DEFAULT_BASELINE_PATH",
     "DEFAULT_SCALING_PATH",
     "REGRESSION_THRESHOLD",
+    "RSS_REGRESSION_THRESHOLD",
     "compare_reports",
     "load_report",
     "run_perf",

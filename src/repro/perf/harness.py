@@ -60,9 +60,12 @@ class BenchmarkResult:
     #: events/sec divided by the host calibration score (dimensionless;
     #: comparable across machines).
     normalized_events: float
+    #: Benchmark-specific extra measurements (e.g. the telemetry_fleet
+    #: per-mode retained footprint).  Never part of the regression gate.
+    extras: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "name": self.name,
             "description": self.description,
             "quick": self.quick,
@@ -75,6 +78,9 @@ class BenchmarkResult:
             "requests_per_s": round(self.requests_per_s, 2),
             "normalized_events": round(self.normalized_events, 6),
         }
+        if self.extras:
+            payload["extras"] = self.extras
+        return payload
 
 
 @dataclass
@@ -115,6 +121,36 @@ def _peak_rss_mb() -> float:
     if sys.platform == "darwin":  # pragma: no cover - platform-specific
         return peak / (1024.0 * 1024.0)
     return peak / 1024.0
+
+
+def _telemetry_memory_mb(harness) -> float:
+    """Retained telemetry+trace footprint of one finished harness (MiB).
+
+    Sums the collector's samples/sketches with every tenant
+    coordinator's traces, sketches, and reservoir — the structures the
+    streaming-sketch pipeline bounds — via their ``memory_bytes()``
+    deep-size walks.  Unlike ``ru_maxrss`` (process-monotonic high-water
+    mark) this measures what is actually *held alive* per mode, so two
+    runs in one process stay comparable.
+    """
+    total = harness.telemetry.memory_bytes()
+    for tenant in harness.tenants:
+        total += tenant.coordinator.memory_bytes()
+    return total / (1024.0 * 1024.0)
+
+
+def _memory_extras(specs, harnesses) -> Dict[str, object]:
+    """The telemetry-footprint extras for a measure_memory benchmark."""
+    per_mode: Dict[str, float] = {}
+    for spec, harness in zip(specs, harnesses):
+        mode = getattr(spec, "telemetry_mode", "raw")
+        per_mode[mode] = round(_telemetry_memory_mb(harness), 4)
+    extras: Dict[str, object] = {"telemetry_trace_mb": per_mode}
+    sketch = per_mode.get("sketch")
+    raw = per_mode.get("raw")
+    if sketch and raw:
+        extras["memory_reduction_x"] = round(raw / sketch, 2)
+    return extras
 
 
 def _run_benchmark(
@@ -181,6 +217,11 @@ def _run_benchmark(
             for runner in runners:
                 runner.close()
     wall = max(wall, 1e-9)
+    extras: Dict[str, object] = {}
+    if benchmark.measure_memory and not sharded:
+        # Outside the timed window: the deep-size walk is O(retained
+        # objects) and must not pollute the throughput measurement.
+        extras = _memory_extras(specs, harnesses)
     return BenchmarkResult(
         name=benchmark.name,
         description=benchmark.description,
@@ -193,6 +234,7 @@ def _run_benchmark(
         events_per_s=events / wall,
         requests_per_s=requests / wall,
         normalized_events=0.0,  # filled in by run_perf once calibrated
+        extras=extras,
     )
 
 
@@ -284,7 +326,14 @@ def load_report(path: Path) -> Dict[str, object]:
 
 @dataclass
 class Comparison:
-    """Outcome of comparing one benchmark against the baseline."""
+    """Outcome of comparing one metric against the baseline.
+
+    Most comparisons are per-benchmark normalized events/sec (higher is
+    better; ``regressed`` when the ratio drops below ``1 - threshold``).
+    The report-level ``peak_rss_mb`` comparison inverts the sense: lower
+    is better, and it regresses when current RSS *exceeds* the baseline
+    by more than the memory threshold.
+    """
 
     name: str
     baseline_normalized: float
@@ -296,8 +345,8 @@ class Comparison:
         verdict = "REGRESSION" if self.regressed else "ok"
         return (
             f"{self.name}: {self.ratio:.2f}x of baseline "
-            f"(normalized {self.current_normalized:.6f} vs "
-            f"{self.baseline_normalized:.6f}) [{verdict}]"
+            f"({self.current_normalized:.6g} vs "
+            f"{self.baseline_normalized:.6g}) [{verdict}]"
         )
 
 
@@ -385,10 +434,18 @@ def save_scaling(curve: Dict[str, object], path: Path = DEFAULT_SCALING_PATH) ->
         handle.write("\n")
 
 
+#: Fractional peak-RSS growth over the baseline that counts as a memory
+#: regression.  Looser than the throughput threshold: RSS is a process
+#: high-water mark, so it absorbs allocator and import noise that
+#: events/sec does not.
+RSS_REGRESSION_THRESHOLD = 0.30
+
+
 def compare_reports(
     current: PerfReport,
     baseline: Dict[str, object],
     threshold: float = REGRESSION_THRESHOLD,
+    rss_threshold: float = RSS_REGRESSION_THRESHOLD,
 ) -> List[Comparison]:
     """Compare calibration-normalized events/sec against a baseline dict.
 
@@ -396,6 +453,13 @@ def compare_reports(
     macro benchmark does not instantly fail CI before its baseline is
     committed).  A benchmark regresses when its normalized throughput is
     more than ``threshold`` below the baseline's.
+
+    When both reports carry a positive report-level ``peak_rss_mb``, a
+    final ``peak_rss_mb`` comparison gates memory too: it regresses when
+    the current high-water mark exceeds the baseline's by more than
+    ``rss_threshold`` (pass ``rss_threshold=None`` to skip the memory
+    gate, e.g. when comparing runs of different benchmark subsets, whose
+    peak RSS is not comparable).
     """
     baseline_benchmarks = baseline.get("benchmarks", {})
     comparisons: List[Comparison] = []
@@ -416,4 +480,17 @@ def compare_reports(
                 regressed=ratio < (1.0 - threshold),
             )
         )
+    if rss_threshold is not None:
+        baseline_rss = float(baseline.get("peak_rss_mb", 0.0) or 0.0)
+        if baseline_rss > 0 and current.peak_rss_mb > 0:
+            ratio = current.peak_rss_mb / baseline_rss
+            comparisons.append(
+                Comparison(
+                    name="peak_rss_mb",
+                    baseline_normalized=baseline_rss,
+                    current_normalized=current.peak_rss_mb,
+                    ratio=ratio,
+                    regressed=ratio > (1.0 + rss_threshold),
+                )
+            )
     return comparisons

@@ -18,7 +18,12 @@ different slice of the stack:
 * ``sharded_multitenant`` — the multi-tenant interference shape executed
   on the sharded engine (``shards=2``): per-tenant event shards in worker
   processes synchronized by conservative time windows
-  (:mod:`repro.experiments.sharded`).
+  (:mod:`repro.experiments.sharded`);
+* ``telemetry_fleet`` — one replicated social_network fleet run twice,
+  in ``sketch`` and ``raw`` telemetry modes, reporting the retained
+  telemetry+trace footprint of each (``telemetry_trace_mb`` /
+  ``memory_reduction_x`` extras) next to throughput — the memory story
+  of the streaming-sketch pipeline (:mod:`repro.telemetry`).
 
 Benchmarks are defined declaratively through
 :class:`~repro.experiments.scenario.ScenarioSpec` so the timed code path
@@ -60,6 +65,13 @@ class MacroBenchmark:
         worker-process spawn and harness construction outside the timed
         window, mirroring how the unsharded path keeps ``from_spec``
         untimed.
+    measure_memory:
+        Measure the retained telemetry+trace footprint of every scenario
+        after its run (collector + per-tenant coordinator/store, via
+        their ``memory_bytes()`` methods) and attach per-mode
+        ``telemetry_trace_mb`` / ``memory_reduction_x`` extras to the
+        result.  Measurement happens outside the timed window, so it
+        never perturbs throughput numbers.  Unsharded benchmarks only.
     """
 
     name: str
@@ -68,6 +80,7 @@ class MacroBenchmark:
     quick_duration_s: float
     build_specs: Callable[[float], List[ScenarioSpec]]
     shards: int = 1
+    measure_memory: bool = False
 
     def specs(self, quick: bool = False) -> List[ScenarioSpec]:
         """The scenario specs for one run of this benchmark."""
@@ -110,6 +123,28 @@ def _routing_ewma_sweep(duration_s: float) -> List[ScenarioSpec]:
     )
 
 
+def _telemetry_fleet(duration_s: float) -> List[ScenarioSpec]:
+    # The same replicated fleet twice — sketch then raw — so the memory
+    # extras compare the two telemetry pipelines on an identical
+    # scenario.  3x replication triples the container fleet the
+    # collector samples, which is exactly where the raw per-container
+    # histories dominate the footprint.
+    from repro.experiments.routing import replicated_services
+
+    base = ScenarioSpec(
+        application="social_network",
+        seed=0,
+        duration_s=duration_s,
+        load_rps=120.0,
+        controller="none",
+        replicas=replicated_services("social_network", 3),
+    )
+    return [
+        base.with_overrides(telemetry_mode="sketch"),
+        base.with_overrides(telemetry_mode="raw"),
+    ]
+
+
 def _resilience_campaign(duration_s: float) -> List[ScenarioSpec]:
     from repro.experiments.resilience import campaign_macro_spec
 
@@ -146,6 +181,14 @@ MACRO_BENCHMARKS: Dict[str, MacroBenchmark] = {
             full_duration_s=15.0,
             quick_duration_s=5.0,
             build_specs=_resilience_campaign,
+        ),
+        MacroBenchmark(
+            name="telemetry_fleet",
+            description="replicated social_network fleet, sketch vs raw telemetry modes",
+            full_duration_s=60.0,
+            quick_duration_s=6.0,
+            build_specs=_telemetry_fleet,
+            measure_memory=True,
         ),
         MacroBenchmark(
             name="sharded_multitenant",

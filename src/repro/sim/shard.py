@@ -10,7 +10,12 @@ and pure functions, shared by the in-process and cross-process drivers:
 * :class:`ShardDigest` — the per-window message a shard publishes,
 * :func:`merge_remote_pressure` — the fold every shard applies to the
   other shards' digests,
-* :func:`conservative_window_s` — the barrier-window sizing rule.
+* :func:`conservative_window_s` — the barrier-window sizing rule,
+* :func:`merge_telemetry_digests` — the end-of-run fold combining the
+  per-shard telemetry digests (re-exported from
+  :mod:`repro.telemetry.digest`): log-histogram bins merge by integer
+  addition, so the fold is exactly associative and the merged sketch is
+  identical whether shards ran in one process or many.
 
 Determinism contract
 --------------------
@@ -28,6 +33,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, TypeVar
 
 from repro.cluster.resources import Resource
+from repro.telemetry.digest import (  # noqa: F401 - shard-merge primitive
+    TelemetryDigest,
+    merge_telemetry_digests,
+)
 
 T = TypeVar("T")
 

@@ -1,0 +1,49 @@
+"""Streaming-sketch telemetry primitives.
+
+The raw telemetry pipeline retains one slotted sample object per container
+per sampling period and every trace until eviction; that is O(history) per
+container and O(capacity) traces — the ROADMAP's scaling wall.  This
+package holds the constant-memory replacements:
+
+* :mod:`repro.telemetry.p2` — the P² incremental quantile estimator
+  (Jain & Chlamtac 1985): five markers, O(1) memory, no sample retention;
+* :mod:`repro.telemetry.histogram` — fixed-geometric-bin log histograms
+  whose merge is bin-wise integer addition, i.e. exactly associative and
+  commutative — the primitive shard digests are built from;
+* :mod:`repro.telemetry.window` — fixed-size ring-buffer windowed
+  statistics (count/mean/max per resource, windowed histograms, windowed
+  co-moments for incremental Pearson correlation);
+* :mod:`repro.telemetry.reservoir` — a SeededRNG-driven Algorithm-R
+  reservoir sampler for deterministic trace retention;
+* :mod:`repro.telemetry.digest` — the per-run latency digest shards
+  publish and the ascending-order fold that merges them;
+* :mod:`repro.telemetry.memory` — honest retained-footprint accounting
+  used by the ``telemetry_fleet`` perf macro and the memory-reduction
+  regression test.
+
+Consumers select the pipeline through ``telemetry_mode``: ``"sketch"``
+(the default on the experiment path) keeps sketches plus a sharply shrunk
+raw tail, ``"raw"`` restores the historical full-history pipeline
+byte-identically.
+"""
+
+from repro.telemetry.digest import TelemetryDigest, merge_telemetry_digests
+from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.p2 import P2Quantile
+from repro.telemetry.reservoir import ReservoirSampler
+from repro.telemetry.window import (
+    WindowedCoMoments,
+    WindowedCounter,
+    WindowedHistogram,
+)
+
+__all__ = [
+    "LogHistogram",
+    "P2Quantile",
+    "ReservoirSampler",
+    "TelemetryDigest",
+    "WindowedCoMoments",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "merge_telemetry_digests",
+]

@@ -3,14 +3,41 @@
 The paper stores execution history graphs in Neo4j; here a bounded
 in-memory store indexes traces by request id, request type, and completion
 time so the Extractor can query "recent traces of type X" efficiently.
+
+Retention comes in two flavours:
+
+* ``"fifo"`` (historical) — the oldest traces are evicted once the
+  capacity bound is exceeded.  Eviction is O(1) amortized: the per-type id
+  indexes are deques that accumulate stale ids and are compacted lazily
+  once more than half an index is stale, instead of the old O(n)
+  ``list.remove`` per evicted trace.
+* ``"reservoir"`` — in-flight traces are always retained; *finished*
+  traces (completed or dropped) pass through a SeededRNG-driven
+  :class:`~repro.telemetry.reservoir.ReservoirSampler`, so the store keeps
+  a uniform random sample of the whole run's traces in a small fixed
+  budget.  This is the sketch-mode trace pipeline: windowed aggregates
+  (latency quantiles, drop rates) come from the coordinator's sketches,
+  and the reservoir exists for structural queries — critical paths,
+  execution-graph inspection — that need whole traces.
+
+Dropped-request accounting is incremental in both modes: a sorted index of
+dropped-trace arrival times answers ``dropped_count(since)`` by bisection
+instead of scanning every stored trace per call.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from collections import OrderedDict, defaultdict
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set
 
+from collections import deque
+
+from repro.telemetry.reservoir import ReservoirSampler
 from repro.tracing.trace import Trace
+
+#: Stale ids tolerated in a per-type index before it is worth compacting.
+_COMPACT_MIN_STALE = 32
 
 
 class TraceStore:
@@ -19,14 +46,39 @@ class TraceStore:
     Parameters
     ----------
     capacity:
-        Maximum number of traces retained; the oldest completed traces are
-        evicted first when the bound is exceeded.
+        Maximum number of traces retained in fifo mode; the oldest traces
+        are evicted first when the bound is exceeded.  Ignored in
+        reservoir mode, where the reservoir capacity (plus in-flight
+        traces) is the bound.
+    retention:
+        ``"fifo"`` (historical) or ``"reservoir"`` (uniform sample of
+        finished traces; requires ``sampler``).
+    sampler:
+        The reservoir deciding which finished traces are retained.  Its
+        randomness must come from a named SeededRNG substream so retention
+        is deterministic per seed.
     """
 
-    def __init__(self, capacity: int = 50_000) -> None:
+    def __init__(
+        self,
+        capacity: int = 50_000,
+        retention: str = "fifo",
+        sampler: Optional[ReservoirSampler] = None,
+    ) -> None:
+        if retention not in ("fifo", "reservoir"):
+            raise ValueError(f"unknown retention policy: {retention!r}")
+        if retention == "reservoir" and sampler is None:
+            raise ValueError("reservoir retention requires a sampler")
         self.capacity = int(capacity)
+        self.retention = retention
+        self.sampler = sampler
         self._traces: "OrderedDict[str, Trace]" = OrderedDict()
-        self._by_type: Dict[str, List[str]] = defaultdict(list)
+        self._by_type: Dict[str, Deque[str]] = defaultdict(deque)
+        self._stale_by_type: Dict[str, int] = defaultdict(int)
+        #: Request ids of stored traces known to be dropped, plus their
+        #: arrival times sorted for bisected windowed counts.
+        self._dropped_ids: Set[str] = set()
+        self._dropped_arrivals: List[float] = []
 
     # --------------------------------------------------------------- mutation
     def add(self, trace: Trace) -> None:
@@ -35,14 +87,72 @@ class TraceStore:
             return
         self._traces[trace.request_id] = trace
         self._by_type[trace.request_type].append(trace.request_id)
-        self._evict_if_needed()
+        if trace.dropped:
+            self._record_drop(trace)
+        if self.retention == "fifo":
+            self._evict_if_needed()
+
+    def note_finished(self, trace: Trace) -> None:
+        """Tell the store a trace finished (completed or dropped).
+
+        The coordinator calls this exactly once per trace.  It keeps the
+        dropped-count index current and, in reservoir mode, offers the
+        finished trace to the sampler — discarding whichever trace the
+        reservoir no longer holds.
+        """
+        if trace.dropped:
+            self._record_drop(trace)
+        if self.retention != "reservoir":
+            return
+        displaced = self.sampler.offer(trace.request_id)
+        if displaced is not None:
+            self._discard(displaced)
+
+    def _record_drop(self, trace: Trace) -> None:
+        if trace.request_id in self._dropped_ids:
+            return
+        self._dropped_ids.add(trace.request_id)
+        insort(self._dropped_arrivals, trace.arrival_time or 0.0)
+
+    def _forget_drop(self, trace: Trace) -> None:
+        if trace.request_id not in self._dropped_ids:
+            return
+        self._dropped_ids.discard(trace.request_id)
+        arrival = trace.arrival_time or 0.0
+        index = bisect_left(self._dropped_arrivals, arrival)
+        del self._dropped_arrivals[index]
+
+    def _discard(self, request_id: str) -> None:
+        """Drop one trace from the store, leaving its index id stale."""
+        trace = self._traces.pop(request_id, None)
+        if trace is None:
+            return
+        self._forget_drop(trace)
+        self._mark_stale(trace.request_type)
+
+    def _mark_stale(self, request_type: str) -> None:
+        self._stale_by_type[request_type] += 1
+        stale = self._stale_by_type[request_type]
+        ids = self._by_type[request_type]
+        if stale >= _COMPACT_MIN_STALE and stale * 2 > len(ids):
+            live = self._traces
+            self._by_type[request_type] = deque(
+                rid for rid in ids if rid in live
+            )
+            self._stale_by_type[request_type] = 0
 
     def _evict_if_needed(self) -> None:
         while len(self._traces) > self.capacity:
             request_id, trace = self._traces.popitem(last=False)
-            ids = self._by_type.get(trace.request_type)
-            if ids and request_id in ids:
-                ids.remove(request_id)
+            self._forget_drop(trace)
+            # FIFO eviction follows insertion order, so the evicted id sits
+            # at the head of its type index and pops in O(1); the stale
+            # counter is only a fallback for mixed retention histories.
+            ids = self._by_type[trace.request_type]
+            if ids and ids[0] == request_id:
+                ids.popleft()
+            else:
+                self._mark_stale(trace.request_type)
 
     # ---------------------------------------------------------------- queries
     def get(self, request_id: str) -> Optional[Trace]:
@@ -66,10 +176,11 @@ class TraceStore:
         if request_type is None:
             candidates = list(self._traces.values())
         else:
+            traces = self._traces
             candidates = [
-                self._traces[rid]
-                for rid in self._by_type.get(request_type, [])
-                if rid in self._traces
+                traces[rid]
+                for rid in self._by_type.get(request_type, ())
+                if rid in traces
             ]
         selected = [
             trace
@@ -82,12 +193,14 @@ class TraceStore:
         return selected
 
     def dropped_count(self, since: Optional[float] = None) -> int:
-        """Number of dropped requests (optionally restricted to arrivals >= since)."""
-        return sum(
-            1
-            for trace in self._traces.values()
-            if trace.dropped and (since is None or (trace.arrival_time or 0.0) >= since)
-        )
+        """Number of stored dropped requests (optionally arrivals >= since).
+
+        Answered from the incrementally maintained drop index — O(1), or
+        O(log drops) with a ``since`` bound — rather than a full scan.
+        """
+        if since is None:
+            return len(self._dropped_ids)
+        return len(self._dropped_arrivals) - bisect_left(self._dropped_arrivals, since)
 
     def request_types(self) -> List[str]:
         """Request types observed so far."""
@@ -101,3 +214,18 @@ class TraceStore:
             trace.end_to_end_latency_ms
             for trace in self.completed_traces(request_type=request_type, since=since)
         ]
+
+    # ---------------------------------------------------------------- memory
+    def memory_bytes(self) -> int:
+        """Retained trace footprint (traces, spans, and indexes)."""
+        from repro.telemetry.memory import deep_sizeof
+
+        return deep_sizeof(
+            (
+                self._traces,
+                self._by_type,
+                self._dropped_ids,
+                self._dropped_arrivals,
+                self.sampler,
+            )
+        )

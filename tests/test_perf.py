@@ -94,27 +94,63 @@ class TestCompare:
         current = _report(a=1.0, b=2.0)
         baseline = _report(a=1.0, b=2.0).as_dict()
         comparisons = compare_reports(current, baseline)
-        assert len(comparisons) == 2
+        # Two benchmarks plus the report-level peak-RSS gate.
+        assert len(comparisons) == 3
         assert not any(comparison.regressed for comparison in comparisons)
 
     def test_regression_beyond_threshold_flagged(self):
         current = _report(a=0.7)
         baseline = _report(a=1.0).as_dict()
-        (comparison,) = compare_reports(current, baseline, threshold=0.2)
+        (comparison, _rss) = compare_reports(current, baseline, threshold=0.2)
         assert comparison.regressed
         assert comparison.ratio == pytest.approx(0.7)
 
     def test_slowdown_within_threshold_passes(self):
         current = _report(a=0.85)
         baseline = _report(a=1.0).as_dict()
-        (comparison,) = compare_reports(current, baseline, threshold=0.2)
+        (comparison, _rss) = compare_reports(current, baseline, threshold=0.2)
         assert not comparison.regressed
 
     def test_new_benchmark_without_baseline_skipped(self):
         current = _report(a=1.0, brand_new=1.0)
         baseline = _report(a=1.0).as_dict()
         comparisons = compare_reports(current, baseline)
-        assert [comparison.name for comparison in comparisons] == ["a"]
+        assert [c.name for c in comparisons] == ["a", "peak_rss_mb"]
+
+    def test_peak_rss_growth_beyond_threshold_flagged(self):
+        current = _report(a=1.0)
+        current.peak_rss_mb = 14.0  # baseline reports 10.0
+        baseline = _report(a=1.0).as_dict()
+        rss = next(c for c in compare_reports(current, baseline) if c.name == "peak_rss_mb")
+        assert rss.regressed
+        assert rss.ratio == pytest.approx(1.4)
+
+    def test_peak_rss_growth_within_threshold_passes(self):
+        current = _report(a=1.0)
+        current.peak_rss_mb = 12.0
+        baseline = _report(a=1.0).as_dict()
+        rss = next(c for c in compare_reports(current, baseline) if c.name == "peak_rss_mb")
+        assert not rss.regressed
+
+    def test_peak_rss_gate_lower_is_never_regression(self):
+        current = _report(a=1.0)
+        current.peak_rss_mb = 1.0
+        baseline = _report(a=1.0).as_dict()
+        rss = next(c for c in compare_reports(current, baseline) if c.name == "peak_rss_mb")
+        assert not rss.regressed
+
+    def test_peak_rss_gate_skippable(self):
+        current = _report(a=1.0)
+        baseline = _report(a=1.0).as_dict()
+        comparisons = compare_reports(current, baseline, rss_threshold=None)
+        assert [c.name for c in comparisons] == ["a"]
+
+    def test_peak_rss_gate_skipped_without_baseline_rss(self):
+        current = _report(a=1.0)
+        baseline = _report(a=1.0).as_dict()
+        baseline["peak_rss_mb"] = 0.0
+        comparisons = compare_reports(current, baseline)
+        assert [c.name for c in comparisons] == ["a"]
 
     def test_save_and_load_roundtrip(self, tmp_path):
         report = _report(a=1.5)

@@ -169,14 +169,44 @@ class TestScenarioSpec:
 
 class TestStreamingSLOAccounting:
     def test_evicted_traces_still_counted(self):
-        """Traces evicted from the bounded store must stay in SLO accounting."""
+        """Traces evicted from the bounded store must stay in SLO accounting.
+
+        FIFO capacity eviction is raw-mode retention semantics; sketch
+        mode bounds the store with a reservoir instead (covered below).
+        """
         harness = ExperimentHarness.from_spec(
-            ScenarioSpec(application="hotel_reservation", seed=1, load_rps=25.0)
+            ScenarioSpec(
+                application="hotel_reservation",
+                seed=1,
+                load_rps=25.0,
+                telemetry_mode="raw",
+            )
         )
         harness.coordinator.store.capacity = 20
         result = harness.run(duration_s=15.0)
         assert len(harness.coordinator.store) <= 20
         assert result.slo.completed > 20
+
+    def test_reservoir_discarded_traces_still_counted(self):
+        """Sketch mode: the reservoir bounds retention, not SLO accounting."""
+        from repro.tracing.coordinator import DEFAULT_RESERVOIR_CAPACITY
+
+        harness = ExperimentHarness.from_spec(
+            ScenarioSpec(
+                application="hotel_reservation",
+                seed=1,
+                load_rps=25.0,
+                telemetry_mode="sketch",
+            )
+        )
+        result = harness.run(duration_s=15.0)
+        store = harness.coordinator.store
+        assert store.retention == "reservoir"
+        # Retained = reservoir residents plus still-in-flight traces.
+        assert len(store) <= DEFAULT_RESERVOIR_CAPACITY + 64
+        # Accounting saw every completion, not just the retained sample.
+        assert result.slo.completed >= len(store)
+        assert result.slo.completed == harness.coordinator.telemetry_digest().completed
 
     def test_drop_after_completion_counts_as_dropped(self):
         """A request that completes and is then dropped by a background call
