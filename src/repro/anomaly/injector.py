@@ -113,6 +113,10 @@ class PerformanceAnomalyInjector:
     workload:
         Optional workload generator; required only for
         :data:`AnomalyType.WORKLOAD_VARIATION` injections.
+    obs:
+        Optional :class:`~repro.obs.run.Observability` bundle; when set,
+        every inject/clear is journalled (``anomaly_inject`` /
+        ``anomaly_clear`` records with scope and node set).
     """
 
     #: Load multiplier at intensity 1.0 for workload-variation anomalies.
@@ -123,10 +127,12 @@ class PerformanceAnomalyInjector:
         cluster: Cluster,
         engine: SimulationEngine,
         workload: Optional[WorkloadGenerator] = None,
+        obs=None,
     ) -> None:
         self.cluster = cluster
         self.engine = engine
         self.workload = workload
+        self.obs = obs
         self.log: List[ActiveAnomaly] = []
         #: Active records with a dynamic scope (re-resolved on scale events).
         self._dynamic: List[ActiveAnomaly] = []
@@ -169,6 +175,24 @@ class PerformanceAnomalyInjector:
         """Schedule a batch of injections."""
         return [self.schedule(spec) for spec in specs]
 
+    # --------------------------------------------------------- observability
+    def _observe_anomaly(self, kind: str, record: ActiveAnomaly, **extra) -> None:
+        if self.obs is None:
+            return
+        spec = record.spec
+        self.obs.journal.record(
+            self.engine.now,
+            kind,
+            "injector",
+            type=spec.anomaly_type.value,
+            target=spec.target_service,
+            scope=spec.scope.value,
+            **extra,
+        )
+        self.obs.registry.counter(
+            f"{kind}s_total", type=spec.anomaly_type.value
+        ).inc()
+
     # ------------------------------------------------------------- lifecycle
     def _begin(self, record: ActiveAnomaly) -> None:
         record._start_event = None
@@ -196,6 +220,14 @@ class PerformanceAnomalyInjector:
             node.inject_pressure(pressure)
             record.applied.append((node, pressure))
         record.node, record.pressure = record.applied[0]
+        self._observe_anomaly(
+            "anomaly_inject",
+            record,
+            intensity=spec.intensity,
+            nodes=[node.name for node, _ in record.applied],
+            start_s=spec.start_s,
+            end_s=spec.end_s,
+        )
         if spec.scope in _DYNAMIC_SCOPES:
             self._track_dynamic(record)
 
@@ -213,6 +245,15 @@ class PerformanceAnomalyInjector:
         # inflates load for the remainder of its window, not a full
         # duration beyond it.
         pattern.add_window(self.engine.now, spec.end_s, multiplier)
+        self._observe_anomaly(
+            "anomaly_inject",
+            record,
+            intensity=spec.intensity,
+            multiplier=multiplier,
+            nodes=[],
+            start_s=spec.start_s,
+            end_s=spec.end_s,
+        )
 
     def _end(self, record: ActiveAnomaly) -> None:
         record._end_event = None
@@ -221,6 +262,7 @@ class PerformanceAnomalyInjector:
         for node, pressure in record.applied:
             node.remove_pressure(pressure)
         record.removed_at = self.engine.now
+        self._observe_anomaly("anomaly_clear", record, reason="window_end")
 
     # --------------------------------------------------- target resolution
     def _scope_services(self, spec: AnomalySpec) -> List[str]:
@@ -422,6 +464,7 @@ class PerformanceAnomalyInjector:
                 for node, pressure in record.applied:
                     node.remove_pressure(pressure)
                 record.removed_at = now
+                self._observe_anomaly("anomaly_clear", record, reason="cleared")
         if self.workload is not None:
             pattern = self.workload.pattern
             if isinstance(pattern, _InflatedPattern):

@@ -45,6 +45,11 @@ class ResourceController(abc.ABC):
         self.rounds_executed = 0
         self._running = False
         self._control_event: Optional[Event] = None
+        #: Observability bundle (set by the harness when enabled; None
+        #: keeps the control loop uninstrumented).
+        self.obs = None
+        #: Journal source label for this controller's records.
+        self.obs_source = type(self).__name__
 
     def start(self) -> None:
         """Start the periodic control loop."""

@@ -225,14 +225,31 @@ def _run_sharded_experiment(args: argparse.Namespace):
     telemetry_mode = getattr(args, "telemetry_mode", None)
     if telemetry_mode is not None:
         spec = spec.with_overrides(telemetry_mode=telemetry_mode)
+    obs_dir = getattr(args, "obs_dir", None)
+    observability = bool(getattr(args, "obs", False) or obs_dir)
+    if observability:
+        spec = spec.with_overrides(observability=True)
 
     shards = max(1, int(getattr(args, "shards", 1) or 1))
     payload: Dict[str, Any] = {
         "scenario_id": spec.scenario_id,
         "shards": shards,
     }
+    harness = None
     if shards == 1:
-        result = run_scenario(spec)
+        if observability:
+            # Build the harness explicitly so the span stores stay
+            # reachable for the Chrome trace export.
+            from repro.experiments.harness import ExperimentHarness
+
+            harness = ExperimentHarness.from_spec(spec)
+            result = harness.run(
+                duration_s=spec.duration_s,
+                sample_period_s=spec.sample_period_s,
+                warmup_s=spec.warmup_s,
+            )
+        else:
+            result = run_scenario(spec)
     else:
         mode = getattr(args, "shard_mode", None) or "process"
         runner = ShardedScenarioRunner(spec, shards, mode=mode)
@@ -248,7 +265,30 @@ def _run_sharded_experiment(args: argparse.Namespace):
         payload["processed_events"] = runner.processed_events
     payload["summary"] = result.summary()
     payload["tenants"] = result.per_tenant_summary()
+    if observability:
+        journal = result.journal or []
+        counts: Dict[str, int] = {}
+        for record in journal:
+            counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+        payload["observability"] = {
+            "journal_records": len(journal),
+            "by_kind": dict(sorted(counts.items())),
+        }
+        if obs_dir:
+            from repro.obs.run import write_run_record
+
+            paths = write_run_record(obs_dir, result, harness=harness)
+            payload["observability"]["run_record"] = paths
+            print(f"wrote run record {obs_dir}", file=sys.stderr)
     return payload
+
+
+def _run_inspect(args: argparse.Namespace) -> int:
+    """``repro.cli inspect <run-record>``: print the causal timeline."""
+    from repro.obs.inspector import inspect_run_record
+
+    print(inspect_run_record(args.run_record), end="")
+    return 0
 
 
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
@@ -331,7 +371,27 @@ def build_parser() -> argparse.ArgumentParser:
         "default) or raw (full sample/trace retention, the historical "
         "byte-compatible behaviour)",
     )
+    run_parser.add_argument(
+        "--obs", action="store_true",
+        help="enable run-record observability for the sharded experiment "
+        "(event journal + metrics registry; see also --obs-dir)",
+    )
+    run_parser.add_argument(
+        "--obs-dir", default=None,
+        help="write the run record (journal.jsonl, metrics.json/.prom, "
+        "summary.json, trace.json) to this directory; implies --obs",
+    )
     run_parser.add_argument("--out", default=None, help="write the JSON result to this path")
+
+    inspect_parser = subparsers.add_parser(
+        "inspect",
+        help="print the causal timeline and metric deltas of a run record",
+    )
+    inspect_parser.add_argument(
+        "run_record",
+        help="run-record directory (from run sharded --obs-dir) or a "
+        "journal.jsonl path",
+    )
 
     compare_parser = subparsers.add_parser(
         "compare", help="compare FIRM against the baselines on one application"
@@ -671,31 +731,41 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
-    if args.command == "compare":
-        from repro.experiments.fig10_end_to_end import run_fig10
+    # Scenario/preset resolution errors (unknown preset names, bad spec
+    # combinations, missing run records) are user errors, not bugs: report
+    # them as one clean line on stderr and exit non-zero, no traceback.
+    try:
+        if args.command == "inspect":
+            return _run_inspect(args)
 
-        result = run_fig10(
-            application=args.application,
-            duration_s=args.duration,
-            load_rps=args.load,
-            include_multi_rl=False,
-        )
-        payload = {name: res.summary() for name, res in result.results.items()}
-    elif args.command == "sweep":
-        payload = _run_sweep(args)
-    else:
-        if args.experiment not in ("interference", "resilience", "routing", "sharded"):
-            # Classic experiments get the historical defaults; interference,
-            # resilience, and routing resolve omitted flags against their
-            # presets' own defaults.
-            if args.duration is None:
-                args.duration = 90.0
-            if args.load is None:
-                args.load = 50.0
-            if args.application is None:
-                args.application = "social_network"
-        runner = EXPERIMENTS[args.experiment]
-        payload = _to_jsonable(runner(args))
+        if args.command == "compare":
+            from repro.experiments.fig10_end_to_end import run_fig10
+
+            result = run_fig10(
+                application=args.application,
+                duration_s=args.duration,
+                load_rps=args.load,
+                include_multi_rl=False,
+            )
+            payload = {name: res.summary() for name, res in result.results.items()}
+        elif args.command == "sweep":
+            payload = _run_sweep(args)
+        else:
+            if args.experiment not in ("interference", "resilience", "routing", "sharded"):
+                # Classic experiments get the historical defaults; interference,
+                # resilience, and routing resolve omitted flags against their
+                # presets' own defaults.
+                if args.duration is None:
+                    args.duration = 90.0
+                if args.load is None:
+                    args.load = 50.0
+                if args.application is None:
+                    args.application = "social_network"
+            runner = EXPERIMENTS[args.experiment]
+            payload = _to_jsonable(runner(args))
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     text = json.dumps(_to_jsonable(payload), indent=2, default=str)
     if getattr(args, "out", None):

@@ -68,6 +68,19 @@ class Orchestrator:
         self.history: List[ActionRecord] = []
         #: Services that have been scaled out at least once keep warm images.
         self._warm_services: set = set()
+        #: Observability bundle (set by the harness when enabled; None
+        #: keeps actuation uninstrumented).
+        self.obs = None
+        self.obs_source = "orchestrator"
+
+    def _observe_action(self, **data) -> None:
+        if self.obs is not None:
+            self.obs.journal.record(
+                self.engine.now, "scale_action", self.obs_source, **data
+            )
+            self.obs.registry.counter(
+                "scale_actions_total", action=data["action"]
+            ).inc()
 
     # ----------------------------------------------------------- partitions
     def set_resource_limit(
@@ -105,6 +118,13 @@ class Orchestrator:
             detail=f"instance={instance.name}",
         )
         self.history.append(record)
+        self._observe_action(
+            action="partition",
+            service=instance.profile.name,
+            instance=instance.name,
+            resource=resource.value,
+            value=clamped,
+        )
         return record
 
     def set_resource_limits(
@@ -171,6 +191,12 @@ class Orchestrator:
             detail="warm" if warm else "cold",
         )
         self.history.append(record)
+        self._observe_action(
+            action="scale_out",
+            service=service_name,
+            before=len(template),
+            after=len(template) + 1,
+        )
         return record
 
     def scale_in(self, service_name: str) -> ActionRecord:
@@ -192,6 +218,12 @@ class Orchestrator:
             detail="" if succeeded else "refused: last replica",
         )
         self.history.append(record)
+        self._observe_action(
+            action="scale_in",
+            service=service_name,
+            before=len(replicas),
+            after=len(replicas) - 1 if succeeded else len(replicas),
+        )
         return record
 
     # -------------------------------------------------------------- queries

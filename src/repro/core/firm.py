@@ -229,6 +229,21 @@ class FIRMController(ResourceController):
             mean_reward=float(np.mean(rewards)) if rewards else 0.0,
         )
         self.rounds.append(record)
+        if self.obs is not None:
+            self.obs.journal.record(
+                record.time_s,
+                "control_round",
+                self.obs_source,
+                slo_violated=record.slo_violated,
+                candidates=list(record.candidates),
+                actions_applied=record.actions_applied,
+                mean_reward=record.mean_reward,
+            )
+            self.obs.registry.counter(
+                "control_rounds_total",
+                controller=type(self).__name__,
+                verdict="violated" if record.slo_violated else "ok",
+            ).inc()
         return record
 
     # -------------------------------------------------------------- internals

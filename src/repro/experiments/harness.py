@@ -45,6 +45,7 @@ from repro.core.firm import FIRMConfig, FIRMController
 from repro.experiments.scenario import ScenarioSpec, TenantSpec, run_scenario
 from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import MitigationTracker, SLOTracker, merge_slo_trackers
+from repro.obs.run import Observability
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRNG
 from repro.tracing.coordinator import TracingCoordinator
@@ -172,6 +173,13 @@ class ExperimentResult:
         #: runs the merge layer replaces this with the ascending-shard-order
         #: fold of the per-shard digests.
         self.telemetry_digest = None
+        #: Exported event-journal records and the metrics registry of an
+        #: observability-enabled run (None with observability off).  Plain
+        #: attributes for the same JSON-compatibility reason as above; the
+        #: sharded merge layer replaces them with the ``(t, shard, seq)``
+        #: journal merge and the ascending-shard-order registry fold.
+        self.journal = None
+        self.metrics = None
 
     @property
     def mean_requested_cpu(self) -> float:
@@ -225,9 +233,14 @@ class ExperimentHarness:
         node_specs: Optional[List[NodeSpec]] = None,
         request_counter=None,
         telemetry_mode: str = "raw",
+        observability: bool = False,
     ) -> None:
         self.engine = engine
         self.rng = rng
+        #: Per-run observability bundle (journal + metrics registry), or
+        #: None when disabled — every instrumentation site checks for None
+        #: so the disabled path stays byte-identical to pre-obs behaviour.
+        self.obs: Optional[Observability] = Observability() if observability else None
         #: Telemetry pipeline mode shared by the collector and every
         #: tenant's coordinator: "raw" (full history, the historical
         #: behaviour and the default for direct construction) or "sketch"
@@ -238,6 +251,8 @@ class ExperimentHarness:
         #: shard sessions number requests like freshly spawned processes.
         self.request_counter = request_counter
         self.cluster = Cluster(engine, rng, node_specs=node_specs, scheduler=scheduler)
+        if self.obs is not None:
+            self.cluster.router.enable_observability(self.obs, engine)
         self.telemetry = TelemetryCollector(self.cluster, engine, mode=telemetry_mode)
         #: All tenants, in deployment order.  Single-tenant harnesses hold
         #: exactly one untenanted entry whose wiring matches the classic
@@ -272,6 +287,9 @@ class ExperimentHarness:
             rng=self.rng,
             engine=self.engine,
         )
+        if self.obs is not None:
+            orchestrator.obs = self.obs
+            orchestrator.obs_source = tenant.display_name
         self.tenants.append(tenant)
         return tenant
 
@@ -321,6 +339,9 @@ class ExperimentHarness:
             engine=self.engine,
             spec=tenant_spec,
         )
+        if self.obs is not None:
+            orchestrator.obs = self.obs
+            orchestrator.obs_source = tenant.display_name
         self.tenants.append(tenant)
 
         runtime.deploy()
@@ -472,6 +493,7 @@ class ExperimentHarness:
         node_specs: Optional[List[NodeSpec]] = None,
         request_counter=None,
         telemetry_mode: str = "raw",
+        observability: bool = False,
     ) -> "ExperimentHarness":
         """Build a harness for one of the four benchmark applications."""
         engine = SimulationEngine()
@@ -480,6 +502,7 @@ class ExperimentHarness:
         harness = cls(
             app, engine, rng, scheduler=scheduler, node_specs=node_specs,
             request_counter=request_counter, telemetry_mode=telemetry_mode,
+            observability=observability,
         )
         harness.runtime.deploy()
         harness.telemetry.start()
@@ -511,6 +534,7 @@ class ExperimentHarness:
             node_specs=cls._node_specs_from_spec(spec),
             request_counter=request_counter,
             telemetry_mode=spec.telemetry_mode,
+            observability=spec.observability,
         )
         harness.spec = spec
         if spec.routing is not None:
@@ -543,6 +567,7 @@ class ExperimentHarness:
             node_specs=cls._node_specs_from_spec(spec),
             request_counter=request_counter,
             telemetry_mode=spec.telemetry_mode,
+            observability=spec.observability,
         )
         harness.spec = spec
         if spec.routing is not None:
@@ -595,6 +620,9 @@ class ExperimentHarness:
         controller = create_controller(
             name, tenant.view, tenant.coordinator, tenant.orchestrator, self.engine, **kwargs
         )
+        if controller is not None and self.obs is not None:
+            controller.obs = self.obs
+            controller.obs_source = tenant.display_name
         if tenant.controller is not None:
             tenant.controller.stop()
         tenant.controller = controller
@@ -650,7 +678,7 @@ class ExperimentHarness:
         self, tenant: TenantRuntime, campaign: Optional[AnomalyCampaign] = None
     ) -> PerformanceAnomalyInjector:
         tenant.injector = PerformanceAnomalyInjector(
-            tenant.view, self.engine, workload=tenant.workload
+            tenant.view, self.engine, workload=tenant.workload, obs=self.obs
         )
         tenant.campaign = campaign
         if campaign is not None:
@@ -737,22 +765,53 @@ class ExperimentHarness:
             mitigation = MitigationTracker()
             tenant_cpu: List[float] = []
             trackers.append((tenant, slo_tracker, mitigation, tenant_cpu))
+            latency_hist = completed_counter = dropped_counter = None
+            if self.obs is not None:
+                label = tenant.display_name
+                latency_hist = self.obs.registry.histogram(
+                    "request_latency_ms", tenant=label
+                )
+                completed_counter = self.obs.registry.counter(
+                    "requests_total", tenant=label, outcome="completed"
+                )
+                dropped_counter = self.obs.registry.counter(
+                    "requests_total", tenant=label, outcome="dropped"
+                )
             hooks.append(
-                (tenant.coordinator, self._make_observer(slo_tracker, accounting_start))
+                (
+                    tenant.coordinator,
+                    self._make_observer(
+                        slo_tracker,
+                        accounting_start,
+                        latency_hist=latency_hist,
+                        completed_counter=completed_counter,
+                        dropped_counter=dropped_counter,
+                    ),
+                )
             )
 
         cluster_mitigation = MitigationTracker() if len(self.tenants) > 1 else None
         per_tenant_cpu = self.is_multi_tenant  # redundant with the cluster-wide
         # sample when there is only the untenanted primary tenant
 
+        obs = self.obs
+        # Previous per-tenant violation flags, so the journal records SLO
+        # *window* transitions (open/close) rather than every sample.
+        prev_violating = [False] * len(trackers)
+
         def _sample(engine: SimulationEngine) -> None:
             requested_cpu.append(self.cluster.total_requested_cpu())
             cpu_utilization.append(self.cluster.cluster_cpu_utilization())
             any_violating = False
-            for tenant, _, mitigation, tenant_cpu in trackers:
+            for i, (tenant, _, mitigation, tenant_cpu) in enumerate(trackers):
                 if per_tenant_cpu:
                     tenant_cpu.append(tenant.view.total_requested_cpu())
                 violating = tenant.coordinator.has_slo_violation(5.0)
+                if obs is not None and violating != prev_violating[i]:
+                    prev_violating[i] = violating
+                    obs.journal.record(
+                        engine.now, "slo_window", tenant.display_name, open=violating
+                    )
                 any_violating = any_violating or violating
                 mitigation.update(engine.now, violating)
             if cluster_mitigation is not None:
@@ -797,8 +856,19 @@ class ExperimentHarness:
         return self.engine.next_event_time()
 
     @staticmethod
-    def _make_observer(slo_tracker: SLOTracker, accounting_start: float):
-        """A completion hook feeding one tenant's streaming SLO tracker."""
+    def _make_observer(
+        slo_tracker: SLOTracker,
+        accounting_start: float,
+        latency_hist=None,
+        completed_counter=None,
+        dropped_counter=None,
+    ):
+        """A completion hook feeding one tenant's streaming SLO tracker.
+
+        When observability metrics are passed in, each finished request
+        also feeds the tenant's ``request_latency_ms`` histogram sketch
+        and ``requests_total`` outcome counters.
+        """
         outcomes: Dict[str, str] = {}
 
         def _observe_finished(trace: Trace) -> None:
@@ -806,11 +876,20 @@ class ExperimentHarness:
                 return
             prior = outcomes.get(trace.request_id)
             if prior is None:
-                outcomes[trace.request_id] = "dropped" if trace.dropped else "completed"
+                dropped = trace.dropped
+                outcomes[trace.request_id] = "dropped" if dropped else "completed"
                 slo_tracker.observe(trace)
+                if latency_hist is not None:
+                    if dropped:
+                        dropped_counter.inc()
+                    else:
+                        completed_counter.inc()
+                        latency_hist.observe(trace.end_to_end_latency_ms)
             elif prior == "completed" and trace.dropped:
                 outcomes[trace.request_id] = "dropped"
                 slo_tracker.reclassify_as_dropped(trace)
+                if dropped_counter is not None:
+                    dropped_counter.inc()
 
         return _observe_finished
 
@@ -870,6 +949,9 @@ class ExperimentHarness:
             result.telemetry_digest = merge_telemetry_digests(
                 [t[0].coordinator.telemetry_digest() for t in trackers]
             )
+        if self.obs is not None:
+            result.journal = self.obs.journal.as_dicts()
+            result.metrics = self.obs.registry
         return result
 
 

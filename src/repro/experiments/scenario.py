@@ -180,6 +180,16 @@ class ScenarioSpec:
         the compatibility flag for trace-distribution studies and
         regression baselines.  The mode is deliberately excluded from
         ``scenario_id`` so sweep keys stay stable.
+    observability:
+        When true, the harness carries a per-run
+        :class:`~repro.obs.run.Observability` bundle — a structured event
+        journal (controller decisions, routing picks, anomaly
+        inject/clear, SLO-window transitions) plus a metrics registry —
+        and the result exposes them as ``result.journal`` /
+        ``result.metrics``.  Off by default: with it off no
+        instrumentation site records anything, so every pinned
+        determinism family stays byte-identical.  Like
+        ``telemetry_mode``, excluded from ``scenario_id``.
     """
 
     application: str = "social_network"
@@ -200,6 +210,7 @@ class ScenarioSpec:
     routing: Optional[str] = None
     replicas: Optional[Dict[str, int]] = None
     telemetry_mode: str = "sketch"
+    observability: bool = False
 
     @property
     def is_multi_tenant(self) -> bool:

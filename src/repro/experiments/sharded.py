@@ -47,6 +47,8 @@ from repro.experiments.scenario import ScenarioSpec, run_scenario
 from repro.experiments.sweep import WorkerTeam
 from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import MitigationTracker, merge_slo_trackers
+from repro.obs.journal import EventJournal, merge_journal_records
+from repro.obs.registry import merge_registries
 from repro.sim.shard import (
     ShardDigest,
     conservative_window_s,
@@ -163,6 +165,10 @@ class ShardWorker:
         self._harness = ExperimentHarness.from_spec(
             self.sub_spec, request_counter=itertools.count(1)
         )
+        if self._harness.obs is not None:
+            # Stamp the shard identity on exported journal records so the
+            # driver's (t, shard, seq) merge is deterministic.
+            self._harness.obs.journal.shard_index = self.shard_index
         self._session = self._harness.begin_run(
             duration_s=self.sub_spec.duration_s,
             sample_period_s=self.sub_spec.sample_period_s,
@@ -369,6 +375,15 @@ def merge_shard_results(plan: ShardPlan, outcomes: Sequence[ShardOutcome]) -> Ex
     result.telemetry_digest = merge_telemetry_digests(
         [o.result.telemetry_digest for o in ordered_outcomes]
     )
+    # Observability state folds the same way: journals merge by
+    # (t, shard, seq) and registries in ascending shard order, so the
+    # merged run record is identical for inprocess and process modes.
+    shard_journals = [getattr(o.result, "journal", None) for o in ordered_outcomes]
+    if any(journal is not None for journal in shard_journals):
+        result.journal = merge_journal_records(shard_journals)
+    result.metrics = merge_registries(
+        getattr(o.result, "metrics", None) for o in ordered_outcomes
+    )
     return result
 
 
@@ -430,19 +445,52 @@ class ShardedScenarioRunner:
         """Run the window-barrier loop to completion and merge results."""
         if self._channels is None:
             self.prepare()
+        # With observability on, the driver keeps its own journal of
+        # barrier advances (shard_index -1, so at equal times its records
+        # sort ahead of shard records) and folds it into the merged
+        # journal — identical for inprocess and process modes.
+        driver_journal: Optional[EventJournal] = None
+        observer = None
+        if self.plan.spec.observability:
+            driver_journal = EventJournal(shard_index=-1)
+
+            def observer(index: int, target: float, stats: SyncStats) -> None:
+                driver_journal.record(
+                    target,
+                    "shard_barrier",
+                    "sync",
+                    barrier=index,
+                    skipped_windows=stats.skipped_windows,
+                )
+
         sync = ConservativeWindowSync(
             self._channels,
             start_time=0.0,
             end_time=self.plan.spec.duration_s,
             window_s=self.plan.window_s,
+            observer=observer,
         )
         self.sync_stats = sync.run()
+        if driver_journal is not None:
+            driver_journal.record(
+                self.plan.spec.duration_s,
+                "sync_stats",
+                "sync",
+                barriers=self.sync_stats.barriers,
+                skipped_windows=self.sync_stats.skipped_windows,
+                window_s=self.sync_stats.window_s,
+            )
         if self._team is not None:
             outcomes = self._team.call_all("finish")
         else:
             outcomes = [worker.finish() for worker in self._workers]
         self.processed_events = sum(o.processed_events for o in outcomes)
-        return merge_shard_results(self.plan, outcomes)
+        merged = merge_shard_results(self.plan, outcomes)
+        if driver_journal is not None:
+            merged.journal = merge_journal_records(
+                [merged.journal, driver_journal.as_dicts()]
+            )
+        return merged
 
     def close(self) -> None:
         """Release worker processes (idempotent; in-process mode is a no-op)."""

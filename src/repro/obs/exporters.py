@@ -1,0 +1,181 @@
+"""Exporters: Chrome trace-event JSON and Prometheus text exposition.
+
+Two render-only views over the observability state (neither mutates
+anything, so exporting twice is idempotent):
+
+* :func:`chrome_trace_json` — the Chrome trace-event format
+  (``{"traceEvents": [...]}``) loadable in Perfetto / ``chrome://tracing``.
+  Each tenant becomes a process, each service instance a thread, each span
+  a complete (``"X"``) event spanning its sojourn at the instance, and
+  each journal record a global instant (``"i"``) event — so controller
+  decisions, anomaly injections, and SLO-window transitions line up
+  visually against the request spans they explain.
+* :func:`prometheus_exposition` — the Prometheus text format rendered
+  from a :meth:`~repro.obs.registry.MetricsRegistry.snapshot`.  Counters
+  and gauges map directly; sketch histograms are rendered as summaries
+  (``quantile`` label plus ``_count``/``_sum`` series), which is the
+  faithful exposition for quantile sketches.
+
+All output is deterministically ordered (tenant order, span store order,
+sorted label keys), so golden tests can pin it byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "prometheus_exposition",
+]
+
+_S_TO_US = 1e6
+
+
+def chrome_trace_events(
+    harness, journal_records: Optional[Sequence[dict]] = None
+) -> List[dict]:
+    """Build trace-event dicts from a finished harness (plus journal).
+
+    Tenants map to processes (pid = tenant order, 1-based), service
+    instances to threads (tid = first-seen order within the tenant's
+    span store), spans to ``"X"`` complete events covering the span's
+    sojourn at the instance, and journal records to ``"i"`` global
+    instant events under a synthetic pid 0 "run events" process.
+    """
+    events: List[dict] = [
+        {"ph": "M", "name": "process_name", "pid": 0, "tid": 0,
+         "args": {"name": "run events"}},
+    ]
+    for pid, tenant in enumerate(harness.tenants, start=1):
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": tenant.display_name}}
+        )
+        tids: Dict[str, int] = {}
+        span_events: List[dict] = []
+        for trace in tenant.coordinator.store.all_traces():
+            for span in trace.spans:
+                tid = tids.get(span.instance)
+                if tid is None:
+                    tid = len(tids) + 1
+                    tids[span.instance] = tid
+                    events.append(
+                        {"ph": "M", "name": "thread_name", "pid": pid,
+                         "tid": tid, "args": {"name": span.instance}}
+                    )
+                span_events.append(
+                    {
+                        "ph": "X",
+                        "name": span.service,
+                        "cat": span.kind.value,
+                        "pid": pid,
+                        "tid": tid,
+                        "ts": span.enqueue_time * _S_TO_US,
+                        "dur": span.sojourn_time * _S_TO_US,
+                        "args": {
+                            "request_id": span.request_id,
+                            "queue_ms": span.queue_time * 1e3,
+                            "service_ms": span.service_time * 1e3,
+                            "dropped": span.dropped,
+                        },
+                    }
+                )
+        events.extend(span_events)
+    for record in journal_records or ():
+        events.append(
+            {
+                "ph": "i",
+                "s": "g",
+                "name": record["kind"],
+                "pid": 0,
+                "tid": 0,
+                "ts": record["t"] * _S_TO_US,
+                "args": {"source": record["source"], **record["data"]},
+            }
+        )
+    return events
+
+
+def chrome_trace_json(
+    harness, journal_records: Optional[Sequence[dict]] = None
+) -> str:
+    """The full trace file as a JSON string (Perfetto-loadable)."""
+    payload = {
+        "traceEvents": chrome_trace_events(harness, journal_records),
+        "displayTimeUnit": "ms",
+    }
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _format_labels(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    # Integral values print without a trailing ".0", matching the usual
+    # client_golang output and keeping goldens readable.
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def prometheus_exposition(snapshot: Dict[str, List[dict]]) -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    ``snapshot`` is the dict produced by
+    :meth:`repro.obs.registry.MetricsRegistry.snapshot`.  Histograms are
+    exposed as summaries: one ``quantile``-labelled sample per headline
+    quantile plus ``<name>_count`` and ``<name>_sum``.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def _type_line(name: str, type_: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {type_}")
+
+    for row in snapshot.get("counters", ()):
+        _type_line(row["name"], "counter")
+        lines.append(
+            f"{row['name']}{_format_labels(row['labels'])} "
+            f"{_format_value(row['value'])}"
+        )
+    for row in snapshot.get("gauges", ()):
+        _type_line(row["name"], "gauge")
+        lines.append(
+            f"{row['name']}{_format_labels(row['labels'])} "
+            f"{_format_value(row['value'])}"
+        )
+    for row in snapshot.get("histograms", ()):
+        name = row["name"]
+        _type_line(name, "summary")
+        for q, value in sorted(row["quantiles"].items(), key=lambda kv: float(kv[0])):
+            labels = _format_labels(row["labels"], {"quantile": q})
+            lines.append(f"{name}{labels} {_format_value(value)}")
+        plain = _format_labels(row["labels"])
+        lines.append(f"{name}_count{plain} {_format_value(row['count'])}")
+        lines.append(f"{name}_sum{plain} {_format_value(row['sum'])}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,250 @@
+"""The run inspector: causal timelines from a run-record journal.
+
+Given a run record written by :func:`repro.obs.run.write_run_record`
+(or just its ``journal.jsonl``), the inspector reconstructs the causal
+story of each injected anomaly:
+
+``injection`` (``anomaly_inject`` record)
+    → ``detection`` (first SLO-violation signal at or after the
+    injection: a ``control_round`` record with ``slo_violated`` true, or
+    an ``slo_window`` open transition)
+    → ``mitigation`` (first ``scale_action`` at or after detection)
+    → ``recovery`` (first ``slo_window`` close at or after detection,
+    or the anomaly's own clear when the SLO never opened a window).
+
+Time-to-detect and time-to-mitigate are derived per episode, which is
+exactly the decomposition FIRM's evaluation reports (detection latency
+vs mitigation latency), now recoverable from any archived run record
+without re-running the scenario.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.journal import read_journal_jsonl
+
+__all__ = [
+    "AnomalyEpisode",
+    "build_timeline",
+    "inspect_run_record",
+    "load_journal",
+]
+
+
+@dataclass
+class AnomalyEpisode:
+    """One injected anomaly and the reaction chain it triggered."""
+
+    target: str
+    anomaly_type: str
+    scope: str
+    injected_at: float
+    cleared_at: Optional[float] = None
+    detected_at: Optional[float] = None
+    mitigated_at: Optional[float] = None
+    recovered_at: Optional[float] = None
+    mitigation: Optional[str] = None
+    nodes: List[str] = field(default_factory=list)
+
+    @property
+    def time_to_detect_s(self) -> Optional[float]:
+        if self.detected_at is None:
+            return None
+        return self.detected_at - self.injected_at
+
+    @property
+    def time_to_mitigate_s(self) -> Optional[float]:
+        if self.mitigated_at is None:
+            return None
+        return self.mitigated_at - self.injected_at
+
+
+def load_journal(path: str) -> List[dict]:
+    """Load journal records from a run-record directory or a JSONL file."""
+    if os.path.isdir(path):
+        path = os.path.join(path, "journal.jsonl")
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"no journal at {path}")
+    return read_journal_jsonl(path)
+
+
+def build_timeline(records: Sequence[dict]) -> List[AnomalyEpisode]:
+    """Reconstruct per-anomaly episodes from merged journal records.
+
+    Records must be time-ordered (the journal merge guarantees this).
+    Detection/mitigation/recovery are matched greedily forward from each
+    injection, so overlapping anomalies each claim the first subsequent
+    signal — a deliberate simplification that matches how the mitigation
+    tracker attributes violation windows.
+    """
+    episodes: List[AnomalyEpisode] = []
+    open_by_target: Dict[str, AnomalyEpisode] = {}
+    for record in records:
+        kind = record["kind"]
+        data = record.get("data", {})
+        t = record["t"]
+        if kind == "anomaly_inject":
+            episode = AnomalyEpisode(
+                target=str(data.get("target", record.get("source", "?"))),
+                anomaly_type=str(data.get("type", "?")),
+                scope=str(data.get("scope", "?")),
+                injected_at=t,
+                nodes=list(data.get("nodes", [])),
+            )
+            episodes.append(episode)
+            open_by_target[episode.target] = episode
+        elif kind == "anomaly_clear":
+            target = str(data.get("target", ""))
+            episode = open_by_target.pop(target, None)
+            if episode is not None and episode.cleared_at is None:
+                episode.cleared_at = t
+        elif kind in ("control_round", "slo_window"):
+            violated = (
+                bool(data.get("slo_violated"))
+                if kind == "control_round"
+                else bool(data.get("open"))
+            )
+            if violated:
+                for episode in episodes:
+                    if episode.detected_at is None and t >= episode.injected_at:
+                        episode.detected_at = t
+            elif kind == "slo_window":
+                for episode in episodes:
+                    if (
+                        episode.recovered_at is None
+                        and episode.detected_at is not None
+                        and t >= episode.detected_at
+                    ):
+                        episode.recovered_at = t
+        elif kind == "scale_action":
+            for episode in episodes:
+                anchor = (
+                    episode.detected_at
+                    if episode.detected_at is not None
+                    else episode.injected_at
+                )
+                if episode.mitigated_at is None and t >= anchor:
+                    episode.mitigated_at = t
+                    episode.mitigation = "{action} {service}".format(
+                        action=data.get("action", "?"),
+                        service=data.get("service", data.get("instance", "?")),
+                    )
+    # An anomaly whose SLO window never closed "recovers" at its clear.
+    for episode in episodes:
+        if episode.recovered_at is None and episode.detected_at is None:
+            episode.recovered_at = episode.cleared_at
+    return episodes
+
+
+def _fmt_t(value: Optional[float]) -> str:
+    return f"{value:9.2f}s" if value is not None else "        --"
+
+
+def _fmt_delta(value: Optional[float]) -> str:
+    return f"{value:.2f}s" if value is not None else "--"
+
+
+def render_timeline(episodes: Sequence[AnomalyEpisode]) -> str:
+    """A readable per-anomaly timeline table."""
+    if not episodes:
+        return "no anomaly injections recorded\n"
+    lines = ["causal timeline (injection -> detection -> mitigation -> recovery):"]
+    for i, ep in enumerate(episodes, start=1):
+        lines.append(
+            f"  [{i}] {ep.anomaly_type} on {ep.target} (scope={ep.scope}"
+            + (f", nodes={','.join(ep.nodes)}" if ep.nodes else "")
+            + ")"
+        )
+        lines.append(
+            f"      injected {_fmt_t(ep.injected_at)}   "
+            f"detected {_fmt_t(ep.detected_at)}   "
+            f"mitigated {_fmt_t(ep.mitigated_at)}   "
+            f"recovered {_fmt_t(ep.recovered_at)}"
+        )
+        detail = (
+            f"      time-to-detect {_fmt_delta(ep.time_to_detect_s)}, "
+            f"time-to-mitigate {_fmt_delta(ep.time_to_mitigate_s)}"
+        )
+        if ep.mitigation:
+            detail += f" ({ep.mitigation})"
+        lines.append(detail)
+    return "\n".join(lines) + "\n"
+
+
+def inspect_run_record(path: str) -> str:
+    """The full inspector report for a run record (directory or JSONL)."""
+    records = load_journal(path)
+    sections: List[str] = []
+
+    directory = path if os.path.isdir(path) else os.path.dirname(path)
+    summary_path = os.path.join(directory, "summary.json")
+    if os.path.exists(summary_path):
+        with open(summary_path, "r", encoding="utf-8") as handle:
+            summary = json.load(handle)
+        head = summary.get("summary", {})
+        sections.append(
+            "run: {app} / {controller} / {dur:g}s".format(
+                app=summary.get("application", "?"),
+                controller=summary.get("controller", "?"),
+                dur=float(summary.get("duration_s", 0.0)),
+            )
+        )
+        sections.append(
+            "  completed {completed:g}  violations {violations:g} "
+            "(rate {rate:.4f})  dropped {dropped:g}  "
+            "p50 {p50:.1f}ms  p99 {p99:.1f}ms".format(
+                completed=head.get("completed", 0.0),
+                violations=head.get("violations", 0.0),
+                rate=head.get("violation_rate", 0.0),
+                dropped=head.get("dropped", 0.0),
+                p50=head.get("p50_ms", 0.0),
+                p99=head.get("p99_ms", 0.0),
+            )
+        )
+
+    counts: Dict[str, int] = {}
+    for record in records:
+        counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+    sections.append(
+        "journal: {n} records ({kinds})".format(
+            n=len(records),
+            kinds=", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            or "empty",
+        )
+    )
+
+    sections.append("")
+    sections.append(render_timeline(build_timeline(records)).rstrip("\n"))
+
+    metrics_path = os.path.join(directory, "metrics.json")
+    if os.path.exists(metrics_path):
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        histograms = snapshot.get("histograms", [])
+        counters = snapshot.get("counters", [])
+        if histograms or counters:
+            sections.append("")
+            sections.append("top-line metrics:")
+            for row in histograms:
+                labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+                quantiles = row.get("quantiles", {})
+                sections.append(
+                    "  {name}{{{labels}}}: count={count:g} "
+                    "p50={p50:.2f} p99={p99:.2f}".format(
+                        name=row["name"],
+                        labels=labels,
+                        count=row.get("count", 0),
+                        p50=float(quantiles.get("0.5", 0.0)),
+                        p99=float(quantiles.get("0.99", 0.0)),
+                    )
+                )
+            for row in counters:
+                labels = ",".join(f"{k}={v}" for k, v in sorted(row["labels"].items()))
+                sections.append(
+                    f"  {row['name']}{{{labels}}}: {row['value']:g}"
+                )
+    return "\n".join(sections) + "\n"

@@ -1,0 +1,139 @@
+"""The structured event journal: a bounded flight recorder of run events.
+
+Every instrumented component appends typed records — controller scale
+decisions, routing picks, anomaly inject/clear, shard-sync barrier
+advances, detector verdicts, SLO-violation window transitions — to one
+per-run :class:`EventJournal`.  The journal is a fixed-capacity ring
+(``collections.deque(maxlen=...)``): recording is O(1), memory is
+bounded regardless of run length, and under pressure the *oldest*
+records are evicted first, which is exactly the flight-recorder
+semantics (the recent past explains the present).
+
+Records are plain tuples in memory and plain dicts at the export
+boundary (:meth:`EventJournal.as_dicts`), so they cross process
+boundaries and serialize to JSONL without any class machinery.  Each
+record carries ``(t, seq, kind, source, data)`` plus the journal's shard
+index; :func:`merge_journal_records` folds per-shard journals by
+``(t, shard, seq)``, so a sharded run's merged journal is a pure
+function of the per-shard journals — deterministic for a fixed seed
+whether shards ran in-process or across worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "EventJournal",
+    "merge_journal_records",
+    "read_journal_jsonl",
+    "write_journal_jsonl",
+]
+
+#: Default ring capacity: generously above what the pinned scenarios
+#: produce, small enough that a runaway hot-path recorder stays bounded.
+DEFAULT_CAPACITY = 65536
+
+
+class EventJournal:
+    """Bounded ring buffer of typed run-event records.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; older records are evicted first.
+    shard_index:
+        Identity stamped on exported records so per-shard journals merge
+        deterministically (``-1`` marks the sharded-run driver, whose
+        barrier records sort ahead of shard records at equal times).
+    """
+
+    __slots__ = ("capacity", "shard_index", "_records", "_seq")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, shard_index: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError(f"journal capacity must be positive, got {capacity}")
+        self.capacity = int(capacity)
+        self.shard_index = int(shard_index)
+        self._records: deque = deque(maxlen=self.capacity)
+        self._seq = 0
+
+    def record(self, time_s: float, kind: str, source: str, **data) -> None:
+        """Append one typed record (O(1); evicts the oldest when full)."""
+        self._seq += 1
+        self._records.append((time_s, self._seq, kind, source, data))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def recorded(self) -> int:
+        """Total records ever appended (``recorded - len`` were evicted)."""
+        return self._seq
+
+    @property
+    def evicted(self) -> int:
+        """Records lost to ring eviction."""
+        return self._seq - len(self._records)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Retained record count per kind (sorted by kind)."""
+        counts: Dict[str, int] = {}
+        for _, _, kind, _, _ in self._records:
+            counts[kind] = counts.get(kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dicts(self) -> List[dict]:
+        """Export retained records as JSON-ready dicts (time order)."""
+        shard = self.shard_index
+        return [
+            {
+                "t": time_s,
+                "seq": seq,
+                "shard": shard,
+                "kind": kind,
+                "source": source,
+                "data": data,
+            }
+            for time_s, seq, kind, source, data in self._records
+        ]
+
+
+def merge_journal_records(
+    journals: Iterable[Optional[Sequence[dict]]],
+) -> List[dict]:
+    """Merge exported per-shard journals into one deterministic stream.
+
+    Records are ordered by ``(t, shard, seq)``: time first, then shard
+    index (the driver's ``-1`` barrier records lead at equal times), then
+    each journal's own append order.  The result is independent of the
+    order the per-shard journals arrive in, so ``inprocess`` and
+    ``process`` shard modes produce identical merged journals.
+    """
+    merged: List[dict] = []
+    for journal in journals:
+        if journal:
+            merged.extend(journal)
+    merged.sort(key=lambda r: (r["t"], r["shard"], r["seq"]))
+    return merged
+
+
+def write_journal_jsonl(records: Sequence[dict], path: str) -> None:
+    """Flush exported records to ``path`` as JSON Lines (one per record)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+
+
+def read_journal_jsonl(path: str) -> List[dict]:
+    """Load a journal JSONL file back into record dicts."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

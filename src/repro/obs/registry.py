@@ -1,0 +1,284 @@
+"""The metrics registry: named counters, gauges, and sketch histograms.
+
+Components register metrics by name plus a label set
+(``registry.counter("routing_picks_total", service="nginx",
+policy="ewma_latency")``); the registry interns each ``(name, labels)``
+series so hot paths resolve to the *same* metric object on every call
+and can cache it outright.  Three metric types cover the run-record
+needs:
+
+* :class:`Counter` — monotone float, cross-shard merge is addition;
+* :class:`Gauge` — last-set float, cross-shard merge keeps the maximum
+  (order-independent, which a last-write-wins merge would not be);
+* :class:`HistogramMetric` — a value distribution backed by one of the
+  :mod:`repro.telemetry` sketches: ``tdigest`` (the default — mergeable
+  with tail-accurate quantiles), ``log`` (exactly-associative bin
+  merges), or ``p2`` (cheapest, but **not mergeable** — reject it for
+  any series that must fold across shards).
+
+Everything is picklable (plain attributes, no callables), so a shard
+worker's registry rides home inside its
+:class:`~repro.experiments.harness.ExperimentResult` and
+:func:`merge_registries` folds the per-shard registries in ascending
+shard order — the same fixed-order contract as
+:func:`repro.telemetry.digest.merge_telemetry_digests`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.telemetry.histogram import LogHistogram
+from repro.telemetry.p2 import P2Quantile
+from repro.telemetry.tdigest import TDigest
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "merge_registries",
+]
+
+#: Headline quantiles exported in snapshots and Prometheus exposition.
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+class Counter:
+    """A monotonically increasing value (merge = addition)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (merge = maximum across shards)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class HistogramMetric:
+    """A value distribution backed by a :mod:`repro.telemetry` sketch.
+
+    ``kind`` selects the backend: ``"tdigest"`` (mergeable, the default),
+    ``"log"`` (mergeable, fixed relative error), or ``"p2"`` (cheapest;
+    quantile estimators for :data:`SNAPSHOT_QUANTILES` only, and
+    :meth:`merge` raises — P² markers cannot be combined).
+    """
+
+    __slots__ = ("kind", "count", "total", "_sketch", "_p2")
+
+    def __init__(self, kind: str = "tdigest") -> None:
+        if kind not in ("tdigest", "log", "p2"):
+            raise ValueError(f"unknown histogram kind {kind!r}")
+        self.kind = kind
+        self.count = 0
+        self.total = 0.0
+        self._sketch = None
+        self._p2: Optional[Dict[float, P2Quantile]] = None
+        if kind == "tdigest":
+            self._sketch = TDigest()
+        elif kind == "log":
+            self._sketch = LogHistogram()
+        else:
+            self._p2 = {q: P2Quantile(q) for q in SNAPSHOT_QUANTILES}
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self._sketch is not None:
+            self._sketch.add(value)
+        else:
+            for estimator in self._p2.values():
+                estimator.add(value)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in ``[0, 1]``)."""
+        if self.count == 0:
+            return 0.0
+        if self.kind == "tdigest":
+            return self._sketch.quantile(q)
+        if self.kind == "log":
+            # LogHistogram.quantile takes percent.
+            return self._sketch.quantile(q * 100.0)
+        estimator = self._p2.get(q)
+        if estimator is None:
+            raise ValueError(
+                f"p2 histograms only track quantiles {SNAPSHOT_QUANTILES}, got {q}"
+            )
+        return estimator.value()
+
+    def merge(self, other: "HistogramMetric") -> None:
+        """Fold ``other`` in (raises for the unmergeable ``p2`` kind)."""
+        if self.kind != other.kind:
+            raise ValueError(
+                f"cannot merge histogram kinds {self.kind!r} and {other.kind!r}"
+            )
+        if self.kind == "p2":
+            raise ValueError(
+                "p2 histograms are not mergeable; use kind='tdigest' or "
+                "'log' for series that fold across shards"
+            )
+        self._sketch.merge(other._sketch)
+        self.count += other.count
+        self.total += other.total
+
+
+_TYPE_FACTORIES = {
+    "counter": Counter,
+    "gauge": Gauge,
+}
+
+
+class MetricsRegistry:
+    """Interned ``(name, labels)`` series of counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        #: (name, labels_key) -> metric object.
+        self._metrics: Dict[Tuple[str, LabelsKey], object] = {}
+        #: name -> declared type ("counter" | "gauge" | "histogram").
+        self._types: Dict[str, str] = {}
+
+    # -------------------------------------------------------------- creation
+    @staticmethod
+    def _labels_key(labels: Dict[str, str]) -> LabelsKey:
+        return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def _series(self, name: str, type_: str, labels: Dict[str, str], factory):
+        declared = self._types.get(name)
+        if declared is None:
+            self._types[name] = type_
+        elif declared != type_:
+            raise ValueError(
+                f"metric {name!r} is already registered as a {declared}, "
+                f"not a {type_}"
+            )
+        key = (name, self._labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = factory()
+            self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels) -> Counter:
+        """The counter series ``name{labels}`` (created on first use)."""
+        return self._series(name, "counter", labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        """The gauge series ``name{labels}`` (created on first use)."""
+        return self._series(name, "gauge", labels, Gauge)
+
+    def histogram(self, name: str, kind: str = "tdigest", **labels) -> HistogramMetric:
+        """The histogram series ``name{labels}`` (created on first use).
+
+        ``kind`` must agree across calls for one name; pick ``"tdigest"``
+        (default) or ``"log"`` for any series merged across shards.
+        """
+        metric = self._series(
+            name, "histogram", labels, lambda: HistogramMetric(kind)
+        )
+        if metric.kind != kind:
+            raise ValueError(
+                f"histogram {name!r} is already registered with kind "
+                f"{metric.kind!r}, not {kind!r}"
+            )
+        return metric
+
+    # --------------------------------------------------------------- queries
+    def series(self) -> List[Tuple[str, str, Dict[str, str], object]]:
+        """All series as ``(name, type, labels, metric)``, sorted."""
+        rows = []
+        for (name, labels_key), metric in self._metrics.items():
+            rows.append((name, self._types[name], dict(labels_key), metric))
+        rows.sort(key=lambda row: (row[0], tuple(sorted(row[2].items()))))
+        return rows
+
+    def snapshot(self) -> Dict[str, List[dict]]:
+        """A JSON-ready snapshot, deterministically ordered."""
+        out: Dict[str, List[dict]] = {"counters": [], "gauges": [], "histograms": []}
+        for name, type_, labels, metric in self.series():
+            if type_ == "counter":
+                out["counters"].append(
+                    {"name": name, "labels": labels, "value": metric.value}
+                )
+            elif type_ == "gauge":
+                out["gauges"].append(
+                    {"name": name, "labels": labels, "value": metric.value}
+                )
+            else:
+                out["histograms"].append(
+                    {
+                        "name": name,
+                        "labels": labels,
+                        "kind": metric.kind,
+                        "count": metric.count,
+                        "sum": metric.total,
+                        "quantiles": {
+                            str(q): metric.quantile(q) for q in SNAPSHOT_QUANTILES
+                        },
+                    }
+                )
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (counters add, gauges max,
+        histograms sketch-merge)."""
+        for (name, labels_key), metric in other._metrics.items():
+            type_ = other._types[name]
+            declared = self._types.get(name)
+            if declared is not None and declared != type_:
+                raise ValueError(
+                    f"metric {name!r} type conflict on merge: "
+                    f"{declared} vs {type_}"
+                )
+            self._types.setdefault(name, type_)
+            mine = self._metrics.get((name, labels_key))
+            if mine is None:
+                if type_ == "counter":
+                    mine = Counter()
+                    mine.value = metric.value
+                elif type_ == "gauge":
+                    mine = Gauge()
+                    mine.value = metric.value
+                else:
+                    mine = HistogramMetric(metric.kind)
+                    mine.merge(metric)
+                self._metrics[(name, labels_key)] = mine
+            elif type_ == "counter":
+                mine.value += metric.value
+            elif type_ == "gauge":
+                mine.value = max(mine.value, metric.value)
+            else:
+                mine.merge(metric)
+
+
+def merge_registries(
+    registries: Iterable[Optional[MetricsRegistry]],
+) -> Optional[MetricsRegistry]:
+    """Fold registries in the given (fixed) order; None entries skipped.
+
+    Returns None when every entry is None, so shard merge layers can
+    fold unconditionally whether or not observability was enabled.
+    """
+    merged: Optional[MetricsRegistry] = None
+    for registry in registries:
+        if registry is None:
+            continue
+        if merged is None:
+            merged = MetricsRegistry()
+        merged.merge(registry)
+    return merged

@@ -153,6 +153,28 @@ def _memory_extras(specs, harnesses) -> Dict[str, object]:
     return extras
 
 
+def _overhead_extras(specs, per_spec) -> Dict[str, object]:
+    """The observability-overhead extras for a measure_overhead benchmark.
+
+    ``per_spec`` pairs each spec with its ``(wall_s, events)`` measured
+    inside the shared timed window; the extras report per-mode events/sec
+    plus the relative slowdown of the ``observability=True`` spec.
+    """
+    rates: Dict[str, float] = {}
+    for spec, (wall, events) in zip(specs, per_spec):
+        mode = "on" if getattr(spec, "observability", False) else "off"
+        rates[mode] = events / max(wall, 1e-9)
+    extras: Dict[str, object] = {
+        "events_per_s_off": round(rates.get("off", 0.0), 1),
+        "events_per_s_on": round(rates.get("on", 0.0), 1),
+    }
+    if rates.get("off") and rates.get("on"):
+        extras["overhead_pct"] = round(
+            (rates["off"] - rates["on"]) / rates["off"] * 100.0, 2
+        )
+    return extras
+
+
 def _run_benchmark(
     benchmark: MacroBenchmark, quick: bool, profiler: Optional[cProfile.Profile]
 ) -> BenchmarkResult:
@@ -198,15 +220,19 @@ def _run_benchmark(
                 requests += int(result.slo.completed)
                 sim_duration += spec.duration_s
         else:
+            per_spec: List[tuple] = []
             for spec, harness in zip(specs, harnesses):
+                spec_start = time.perf_counter()
                 result = harness.run(
                     duration_s=spec.duration_s,
                     sample_period_s=spec.sample_period_s,
                     warmup_s=spec.warmup_s,
                 )
+                spec_wall = time.perf_counter() - spec_start
                 events += harness.engine.processed_events
                 requests += int(result.slo.completed)
                 sim_duration += spec.duration_s
+                per_spec.append((spec_wall, harness.engine.processed_events))
         wall = time.perf_counter() - start
     finally:
         if profiler is not None:
@@ -222,6 +248,8 @@ def _run_benchmark(
         # Outside the timed window: the deep-size walk is O(retained
         # objects) and must not pollute the throughput measurement.
         extras = _memory_extras(specs, harnesses)
+    if benchmark.measure_overhead and not sharded:
+        extras.update(_overhead_extras(specs, per_spec))
     return BenchmarkResult(
         name=benchmark.name,
         description=benchmark.description,

@@ -23,7 +23,12 @@ different slice of the stack:
   in ``sketch`` and ``raw`` telemetry modes, reporting the retained
   telemetry+trace footprint of each (``telemetry_trace_mb`` /
   ``memory_reduction_x`` extras) next to throughput — the memory story
-  of the streaming-sketch pipeline (:mod:`repro.telemetry`).
+  of the streaming-sketch pipeline (:mod:`repro.telemetry`);
+* ``obs_overhead`` — one controlled scenario with an anomaly campaign
+  run twice, observability off then on, reporting per-mode events/sec
+  and the relative slowdown (``events_per_s_off`` / ``events_per_s_on``
+  / ``overhead_pct`` extras) — the cost story of the run-record
+  observability layer (:mod:`repro.obs`), pinned ≤ 5% by test.
 
 Benchmarks are defined declaratively through
 :class:`~repro.experiments.scenario.ScenarioSpec` so the timed code path
@@ -72,6 +77,13 @@ class MacroBenchmark:
         ``telemetry_trace_mb`` / ``memory_reduction_x`` extras to the
         result.  Measurement happens outside the timed window, so it
         never perturbs throughput numbers.  Unsharded benchmarks only.
+    measure_overhead:
+        Time every scenario separately (in addition to the combined
+        timed window) and attach ``events_per_s_off`` /
+        ``events_per_s_on`` / ``overhead_pct`` extras comparing the
+        specs with ``observability`` off vs on.  The benchmark's
+        ``build_specs`` must return one spec of each mode.  Unsharded
+        benchmarks only.
     """
 
     name: str
@@ -81,6 +93,7 @@ class MacroBenchmark:
     build_specs: Callable[[float], List[ScenarioSpec]]
     shards: int = 1
     measure_memory: bool = False
+    measure_overhead: bool = False
 
     def specs(self, quick: bool = False) -> List[ScenarioSpec]:
         """The scenario specs for one run of this benchmark."""
@@ -145,6 +158,34 @@ def _telemetry_fleet(duration_s: float) -> List[ScenarioSpec]:
     ]
 
 
+def _obs_overhead(duration_s: float) -> List[ScenarioSpec]:
+    # The same controlled anomaly-campaign scenario twice — observability
+    # off then on — so the overhead extras compare the journal+registry
+    # instrumentation on an identical workload.  A controller plus a
+    # resource-only campaign exercises every instrumented path at once:
+    # control rounds, scale actions, routing picks, anomaly
+    # inject/clear, and SLO-window transitions.
+    from functools import partial
+
+    from repro.experiments.scenario import random_campaign_builder
+
+    base = ScenarioSpec(
+        application="social_network",
+        seed=0,
+        duration_s=duration_s,
+        load_rps=60.0,
+        controller="aimd",
+        campaign_builder=partial(
+            random_campaign_builder,
+            duration_s=duration_s,
+            rate_per_s=0.5,
+            resource_only=True,
+            start_s=0.5,
+        ),
+    )
+    return [base, base.with_overrides(observability=True)]
+
+
 def _resilience_campaign(duration_s: float) -> List[ScenarioSpec]:
     from repro.experiments.resilience import campaign_macro_spec
 
@@ -189,6 +230,14 @@ MACRO_BENCHMARKS: Dict[str, MacroBenchmark] = {
             quick_duration_s=6.0,
             build_specs=_telemetry_fleet,
             measure_memory=True,
+        ),
+        MacroBenchmark(
+            name="obs_overhead",
+            description="controlled anomaly campaign, observability off vs on",
+            full_duration_s=20.0,
+            quick_duration_s=5.0,
+            build_specs=_obs_overhead,
+            measure_overhead=True,
         ),
         MacroBenchmark(
             name="sharded_multitenant",

@@ -113,6 +113,29 @@ class RequestRouter:
         self.decision_counts: Dict[str, Dict[str, int]] = defaultdict(
             lambda: defaultdict(int)
         )
+        #: Observability (enabled by the harness; None keeps the hot path
+        #: untouched).
+        self._obs = None
+        self._obs_engine = None
+        self._obs_sample_every = 1
+        #: (service, policy) -> cached registry counter, so the hot path
+        #: never re-resolves the interned series.
+        self._obs_counters: Dict[Tuple[str, str], object] = {}
+        self._obs_picks = 0
+
+    def enable_observability(self, obs, engine, sample_every: int = 128) -> None:
+        """Record routing picks into ``obs`` (counters + sampled journal).
+
+        Every pick increments a ``routing_picks_total{service,policy}``
+        counter; one pick in ``sample_every`` is also journalled as a
+        ``routing_pick`` record.  Sampling keeps the journal ring from
+        being flooded by the one per-span event kind (which would evict
+        the rare records — anomaly injections, scale decisions — the
+        inspector needs most).
+        """
+        self._obs = obs
+        self._obs_engine = engine
+        self._obs_sample_every = max(1, int(sample_every))
 
     # -------------------------------------------------------- configuration
     @property
@@ -202,6 +225,23 @@ class RequestRouter:
         name, policy = self._entry(service_name)
         instance = policy.select(replicas)
         self.decision_counts[service_name][instance.name] += 1
+        if self._obs is not None:
+            counter = self._obs_counters.get((service_name, name))
+            if counter is None:
+                counter = self._obs.registry.counter(
+                    "routing_picks_total", service=service_name, policy=name
+                )
+                self._obs_counters[(service_name, name)] = counter
+            counter.inc()
+            self._obs_picks += 1
+            if (self._obs_picks - 1) % self._obs_sample_every == 0:
+                self._obs.journal.record(
+                    self._obs_engine.now,
+                    "routing_pick",
+                    service_name,
+                    policy=name,
+                    instance=instance.name,
+                )
         return RoutingDecision(
             service=service_name,
             instance=instance,

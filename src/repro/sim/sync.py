@@ -86,6 +86,11 @@ class ConservativeWindowSync:
         accumulates floating-point drift.
     window_s:
         Barrier spacing from :func:`conservative_window_s`.
+    observer:
+        Optional callback ``observer(index, target_time, stats)`` invoked
+        after each barrier's digests are collected — the hook the sharded
+        runner's observability journal uses to record barrier advances.
+        Runs on the driver, so it never perturbs shard determinism.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class ConservativeWindowSync:
         start_time: float,
         end_time: float,
         window_s: float,
+        observer=None,
     ) -> None:
         if not channels:
             raise ValueError("at least one shard channel is required")
@@ -107,6 +113,7 @@ class ConservativeWindowSync:
         self.start_time = float(start_time)
         self.end_time = float(end_time)
         self.window_s = float(window_s)
+        self.observer = observer
 
     def _barrier_time(self, index: int) -> float:
         time = self.start_time + index * self.window_s
@@ -130,6 +137,8 @@ class ConservativeWindowSync:
                 channel.collect_digest() for channel in channels
             ]
             stats.barriers += 1
+            if self.observer is not None:
+                self.observer(index, target, stats)
 
             if index >= final_index:
                 break

@@ -17,6 +17,10 @@ package holds the constant-memory replacements:
   reservoir sampler for deterministic trace retention;
 * :mod:`repro.telemetry.digest` — the per-run latency digest shards
   publish and the ascending-order fold that merges them;
+* :mod:`repro.telemetry.tdigest` — a deterministic merging t-digest:
+  tail-accurate quantiles *and* a merge operation, closing the gap P²
+  leaves (O(1) but unmergeable) for sketches that must fold across
+  shards — the backend of the observability registry's histograms;
 * :mod:`repro.telemetry.memory` — honest retained-footprint accounting
   used by the ``telemetry_fleet`` perf macro and the memory-reduction
   regression test.
@@ -31,6 +35,7 @@ from repro.telemetry.digest import TelemetryDigest, merge_telemetry_digests
 from repro.telemetry.histogram import LogHistogram
 from repro.telemetry.p2 import P2Quantile
 from repro.telemetry.reservoir import ReservoirSampler
+from repro.telemetry.tdigest import TDigest, merge_tdigests
 from repro.telemetry.window import (
     WindowedCoMoments,
     WindowedCounter,
@@ -41,9 +46,11 @@ __all__ = [
     "LogHistogram",
     "P2Quantile",
     "ReservoirSampler",
+    "TDigest",
     "TelemetryDigest",
     "WindowedCoMoments",
     "WindowedCounter",
     "WindowedHistogram",
+    "merge_tdigests",
     "merge_telemetry_digests",
 ]

@@ -82,6 +82,48 @@ class TestExecution:
         assert "precision" in row and "recall" in row
 
 
+class TestObservabilityCli:
+    def test_sharded_payload_pins_sync_stats(self, capsys):
+        assert main([
+            "run", "sharded", "--preset", "aggressor_victim",
+            "--duration", "5", "--shards", "2", "--shard-mode", "inprocess",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shards"] == 2
+        assert payload["mode"] == "inprocess"
+        assert payload["window_s"] > 0
+        assert payload["barriers"] >= 1
+        assert payload["skipped_windows"] >= 0
+        assert payload["processed_events"] > 0
+
+    def test_obs_run_record_and_inspect(self, tmp_path, capsys):
+        record_dir = tmp_path / "record"
+        assert main([
+            "run", "sharded", "--preset", "aggressor_victim",
+            "--duration", "5", "--shards", "2", "--shard-mode", "inprocess",
+            "--obs-dir", str(record_dir),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        obs = payload["observability"]
+        assert obs["journal_records"] > 0
+        assert "shard_barrier" in obs["by_kind"]
+        assert "sync_stats" in obs["by_kind"]
+        assert "run_record" in obs
+        assert main(["inspect", str(record_dir)]) == 0
+        report = capsys.readouterr().out
+        assert "journal:" in report
+        assert "causal timeline" in report or "no anomaly injections" in report
+
+    def test_unknown_preset_exits_cleanly(self, capsys):
+        assert main(["run", "sharded", "--preset", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown interference preset")
+
+    def test_inspect_missing_record_exits_cleanly(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "missing")]) == 2
+        assert "error: no journal at" in capsys.readouterr().err
+
+
 class TestJsonConversion:
     def test_dataclass_converted(self):
         from dataclasses import dataclass

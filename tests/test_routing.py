@@ -535,8 +535,10 @@ class TestRoutingCLI:
             "join_the_idle_queue",
         }
 
-    def test_sweep_unknown_routing_fails_fast(self):
+    def test_sweep_unknown_routing_fails_fast(self, capsys):
         from repro.cli import main
 
-        with pytest.raises(ValueError, match="unknown routing policy"):
-            main(["sweep", "--routing", "bogus", "--controllers", "none"])
+        # Scenario-resolution errors exit 2 with a clean message instead
+        # of an uncaught traceback.
+        assert main(["sweep", "--routing", "bogus", "--controllers", "none"]) == 2
+        assert "unknown routing policy" in capsys.readouterr().err
