@@ -8,9 +8,13 @@ consistently slower than the min-CP group for every application.
 
 from __future__ import annotations
 
+import pytest
+
 from conftest import save_result
 
 from repro.experiments.fig3_cp_distributions import run_fig3
+
+pytestmark = [pytest.mark.smoke]
 
 
 def test_bench_fig3_cp_distributions(benchmark, results_dir):

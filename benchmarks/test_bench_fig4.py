@@ -7,9 +7,13 @@ Reproduces Insight 2: under contention on ``text`` (high variance), scaling
 
 from __future__ import annotations
 
+import pytest
+
 from conftest import save_result
 
 from repro.experiments.fig4_variance_scaling import run_fig4
+
+pytestmark = [pytest.mark.smoke]
 
 
 def test_bench_fig4_variance_scaling(benchmark, results_dir):

@@ -9,9 +9,13 @@ CPU-bound contention scale-out catches up or wins as load grows.
 
 from __future__ import annotations
 
+import pytest
+
 from conftest import save_result
 
 from repro.experiments.fig5_scale_tradeoff import run_fig5
+
+pytestmark = [pytest.mark.smoke]
 
 
 def test_bench_fig5_scale_tradeoff(benchmark, results_dir):

@@ -10,10 +10,14 @@ regressions (a tenant silently starving) are visible next to the timing.
 
 from __future__ import annotations
 
+import pytest
+
 from conftest import save_result
 
 from repro.experiments.interference import identical_tenants
 from repro.experiments.scenario import run_scenario
+
+pytestmark = [pytest.mark.smoke]
 
 #: Simulated seconds per run; requests simulated = 2 tenants x 25 rps x this.
 DURATION_S = 30.0

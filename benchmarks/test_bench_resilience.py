@@ -10,9 +10,13 @@ same score) and the ground-truth alignment the scoreboard depends on.
 
 from __future__ import annotations
 
+import pytest
+
 from conftest import save_result
 
 from repro.experiments.resilience import ResilienceCase, run_resilience_case
+
+pytestmark = [pytest.mark.smoke]
 
 #: Reduced-scale case: ~44 simulated seconds, dense enough that several
 #: analysis windows carry active injections.

@@ -10,9 +10,13 @@ load-blind ones) is visible next to the timing.
 
 from __future__ import annotations
 
+import pytest
+
 from conftest import save_result
 
 from repro.experiments.routing import run_routing
+
+pytestmark = [pytest.mark.smoke]
 
 #: Simulated seconds per scenario; one scenario runs per policy.
 DURATION_S = 25.0

@@ -9,9 +9,13 @@ across the cases.
 
 from __future__ import annotations
 
+import pytest
+
 from conftest import save_result
 
 from repro.experiments.table1_cp_changes import TABLE1_SERVICES, run_table1
+
+pytestmark = [pytest.mark.smoke]
 
 
 def test_bench_table1_cp_changes(benchmark, results_dir):

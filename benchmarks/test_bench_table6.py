@@ -8,9 +8,13 @@ charges realistic actuation costs).
 
 from __future__ import annotations
 
+import pytest
+
 from conftest import save_result
 
 from repro.experiments.table6_operation_latency import run_table6, table6_rows
+
+pytestmark = [pytest.mark.smoke]
 
 
 def test_bench_table6_operation_latency(benchmark, results_dir):

@@ -20,6 +20,13 @@ through the cluster's pluggable request router (:mod:`repro.routing`);
 each span is stamped with the routing decision that placed it — policy
 name plus the selected replica's queue depth and in-flight count at
 decision time — so traces expose how the balancer distributed the load.
+
+When an :class:`~repro.admission.gate.AdmissionGate` is attached
+(``runtime.admission``), :meth:`ApplicationRuntime.submit_request` routes
+through it — rate limiting, shedding, retries, hedging, and circuit
+breaking all happen before :meth:`ApplicationRuntime.submit_attempt`
+launches each physical attempt.  With no gate attached the fast path is
+byte-identical to the pre-admission runtime.
 """
 
 from __future__ import annotations
@@ -86,6 +93,9 @@ class ApplicationRuntime:
         self.tenant = tenant
         self.completed_requests = 0
         self.dropped_requests = 0
+        #: Optional :class:`~repro.admission.gate.AdmissionGate`; when set,
+        #: :meth:`submit_request` routes through it.
+        self.admission = None
         self._deployed = False
         self._request_ids = request_counter if request_counter is not None else _request_ids
 
@@ -113,19 +123,49 @@ class ApplicationRuntime:
         request_type_name: str,
         on_complete: Optional[Callable[[Trace], None]] = None,
     ) -> Trace:
-        """Submit one user request of the given type.
+        """Submit one logical user request of the given type.
 
-        Returns the trace immediately; spans are appended as the request
+        Returns a trace immediately; spans are appended as the request
         progresses through the simulation, and ``on_complete`` (if given) is
-        invoked with the finished trace when the response is sent.
+        invoked with the finished trace when the response is sent.  With an
+        admission gate attached the request passes through it first — it may
+        be shed before launching (the returned trace is already dropped), and
+        retried or hedged attempts each carry their own trace, with
+        ``on_complete`` receiving the attempt that settled the request.
+        """
+        if self.admission is not None:
+            return self.admission.submit(request_type_name, on_complete)
+        return self.submit_attempt(request_type_name, on_complete)
+
+    def submit_attempt(
+        self,
+        request_type_name: str,
+        on_complete: Optional[Callable[[Trace], None]] = None,
+        label: Optional[str] = None,
+    ) -> Trace:
+        """Launch one physical attempt of a request (no admission control).
+
+        ``label`` (e.g. ``"retry1"``, ``"hedge1"``) suffixes the request id
+        so retried/hedged attempts are first-class, distinguishable traces;
+        ``None`` keeps the id byte-identical to the pre-admission format.
+        When the entry replica rejects the attempt the returned trace is
+        already dropped and ``on_complete`` is never invoked — callers that
+        need synchronous rejection must check ``trace.dropped`` on return.
         """
         if not self._deployed:
             raise RuntimeError("application must be deployed before submitting requests")
         request_type = self.app.request_types[request_type_name]
-        request_id = f"{self.app.name}-{request_type_name}-{next(self._request_ids)}"
+        request_id = self.next_request_id(request_type_name, label)
         trace = self.coordinator.begin_trace(request_id, request_type_name, self.engine.now)
         self._execute_entry(trace, request_type, on_complete)
         return trace
+
+    def next_request_id(self, request_type_name: str, label: Optional[str] = None) -> str:
+        """Mint the next request id (ids never influence simulation results)."""
+        request_id = f"{self.app.name}-{request_type_name}-{next(self._request_ids)}"
+        if label is not None:
+            request_id = f"{request_id}-{label}"
+        return request_id
 
     # ------------------------------------------------------------ internals
     def _execute_entry(

@@ -283,6 +283,83 @@ def _run_sharded_experiment(args: argparse.Namespace):
     return payload
 
 
+def _run_metastable(args: argparse.Namespace):
+    """Run a metastable-failure campaign, or one case with a run record.
+
+    The default mode runs a named campaign (``--preset retry_storm``,
+    ``shed_vs_violate``, or ``staleness_grid``) and returns its
+    scoreboard.  With ``--admission`` (or ``--obs``/``--obs-dir``) it
+    runs one case instead — the shape CI uses to produce a run-record
+    artifact whose journal carries the ``admission_decision`` /
+    ``retry`` / ``breaker_transition`` records.
+    """
+    from repro.experiments.metastable import (
+        MetastableCase,
+        _run_metastable_case_with_result,
+        run_metastable_campaign,
+    )
+
+    seed = getattr(args, "seed", 0)
+    quick = bool(getattr(args, "quick", False))
+    case_overrides: Dict[str, Any] = {}
+    if args.duration is not None:
+        case_overrides["duration_s"] = args.duration
+    if args.load is not None:
+        case_overrides["load_rps"] = args.load
+    if args.application is not None:
+        case_overrides["application"] = args.application
+    if getattr(args, "dispatchers", None) is not None and args.dispatchers > 1:
+        case_overrides["dispatchers"] = args.dispatchers
+
+    admission = getattr(args, "admission", None)
+    obs_dir = getattr(args, "obs_dir", None)
+    observability = bool(getattr(args, "obs", False) or obs_dir)
+    if admission or observability:
+        case = MetastableCase(
+            seed=seed, admission=admission or "survival_kit", **case_overrides
+        )
+        if quick:
+            case = case.with_overrides(
+                duration_s=min(case.duration_s, 15.0),
+                anomaly_start_s=2.5,
+                anomaly_duration_s=5.0,
+            )
+        outcome, result, harness = _run_metastable_case_with_result(
+            case, observability=observability
+        )
+        payload = outcome.as_dict()
+        if observability:
+            journal = result.journal or []
+            counts: Dict[str, int] = {}
+            for record in journal:
+                counts[record["kind"]] = counts.get(record["kind"], 0) + 1
+            payload["observability"] = {
+                "journal_records": len(journal),
+                "by_kind": dict(sorted(counts.items())),
+            }
+            if obs_dir:
+                from repro.obs.run import write_run_record
+
+                paths = write_run_record(obs_dir, result, harness=harness)
+                payload["observability"]["run_record"] = paths
+                print(f"wrote run record {obs_dir}", file=sys.stderr)
+        return payload
+
+    campaign = getattr(args, "preset", None) or "retry_storm"
+
+    def _progress(done: int, total: int, outcome) -> None:
+        print(f"[{done}/{total}] {outcome.case_id}", file=sys.stderr)
+
+    return run_metastable_campaign(
+        campaign,
+        seed=seed,
+        quick=quick,
+        workers=getattr(args, "workers", None) or 1,
+        progress=_progress,
+        **case_overrides,
+    )
+
+
 def _run_inspect(args: argparse.Namespace) -> int:
     """``repro.cli inspect <run-record>``: print the causal timeline."""
     from repro.obs.inspector import inspect_run_record
@@ -300,6 +377,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig10": _run_fig10,
     "fig11": _run_fig11,
     "interference": _run_interference,
+    "metastable": _run_metastable,
     "resilience": _run_resilience,
     "routing": _run_routing_experiment,
     "sharded": _run_sharded_experiment,
@@ -331,9 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--preset", default=None,
         help="interference preset (aggressor_victim, noisy_neighbor_ramp, "
-        "identical_tenants), routing preset (anomaly, interference), or "
+        "identical_tenants), routing preset (anomaly, interference), "
         "resilience preset (single_sweep, multi_anomaly, random, "
-        "multi_tenant)",
+        "multi_tenant), or metastable campaign (retry_storm, "
+        "shed_vs_violate, staleness_grid)",
     )
     run_parser.add_argument(
         "--controller", default=None,
@@ -365,6 +444,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(default process; inprocess runs shards serially in this process)",
     )
     run_parser.add_argument(
+        "--admission", default=None,
+        help="admission preset for the metastable experiment (none, "
+        "naive_retries, shed_only, survival_kit); switches from the "
+        "campaign scoreboard to a single scored case",
+    )
+    run_parser.add_argument(
+        "--dispatchers", type=int, default=None,
+        help="dispatcher count for the metastable experiment "
+        "(>1 enables stale-view distributed dispatch)",
+    )
+    run_parser.add_argument(
+        "--quick", action="store_true",
+        help="short smoke durations for the metastable experiment",
+    )
+    run_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for metastable campaigns (default 1)",
+    )
+    run_parser.add_argument(
         "--telemetry-mode", default=None, choices=("sketch", "raw"),
         help="telemetry pipeline for the interference/resilience/sharded "
         "experiments: sketch (constant-memory streaming sketches, the "
@@ -373,8 +471,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--obs", action="store_true",
-        help="enable run-record observability for the sharded experiment "
-        "(event journal + metrics registry; see also --obs-dir)",
+        help="enable run-record observability for the sharded and "
+        "metastable experiments (event journal + metrics registry; see "
+        "also --obs-dir)",
     )
     run_parser.add_argument(
         "--obs-dir", default=None,
@@ -458,6 +557,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--scope", default=None,
         help="anomaly target scope for the resilience grid "
         "(node, replica, service_wide, tenant; default service_wide)",
+    )
+    sweep_parser.add_argument(
+        "--admission", default=None,
+        help="comma-separated admission presets (none, naive_retries, "
+        "shed_only, survival_kit); switches to the metastable admission "
+        "grid — presets x seeds, scored on SLO violation, localization, "
+        "and request amplification",
     )
     sweep_parser.add_argument("--out", default=None, help="write the JSON result to this path")
 
@@ -543,6 +649,39 @@ def _run_sweep(args: argparse.Namespace):
     )
     if args.placement is not None:
         PlacementPolicy(args.placement)
+
+    if getattr(args, "admission", None):
+        # Metastable admission grid: presets x seeds under the same
+        # transient trigger, scored on SLO violation, localization, and
+        # request amplification.
+        from repro.experiments.metastable import (
+            metastable_sweep_grid,
+            run_metastable_sweep,
+        )
+
+        case_overrides = {}
+        if args.duration is not None:
+            case_overrides["duration_s"] = args.duration
+        cases = []
+        for application in _csv_list(args.application):
+            for load in _csv_list(args.loads, float):
+                cases.extend(
+                    metastable_sweep_grid(
+                        presets=_csv_list(args.admission),
+                        seeds=_csv_list(args.seeds, int),
+                        application=application,
+                        load_rps=load,
+                        **case_overrides,
+                    )
+                )
+
+        def _admission_progress(done: int, total: int, outcome) -> None:
+            print(f"[{done}/{total}] {outcome.case_id}", file=sys.stderr)
+
+        outcomes = run_metastable_sweep(
+            cases, workers=args.workers, progress=_admission_progress
+        )
+        return [outcome.as_dict() for outcome in outcomes]
 
     if getattr(args, "campaigns", None):
         # Resilience grid: controllers x campaigns x applications x seeds,
@@ -751,7 +890,13 @@ def main(argv=None) -> int:
         elif args.command == "sweep":
             payload = _run_sweep(args)
         else:
-            if args.experiment not in ("interference", "resilience", "routing", "sharded"):
+            if args.experiment not in (
+                "interference",
+                "metastable",
+                "resilience",
+                "routing",
+                "sharded",
+            ):
                 # Classic experiments get the historical defaults; interference,
                 # resilience, and routing resolve omitted flags against their
                 # presets' own defaults.

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.admission.config import resolve_admission_config
+from repro.admission.gate import AdmissionGate
 from repro.anomaly.campaigns import AnomalyCampaign
 from repro.anomaly.injector import PerformanceAnomalyInjector
 from repro.apps.catalog import build_application
@@ -46,6 +48,7 @@ from repro.experiments.scenario import ScenarioSpec, TenantSpec, run_scenario
 from repro.metrics.latency import LatencyStats
 from repro.metrics.slo import MitigationTracker, SLOTracker, merge_slo_trackers
 from repro.obs.run import Observability
+from repro.routing.dispatchers import DISPATCH_VARIANTS
 from repro.sim.engine import SimulationEngine
 from repro.sim.rng import SeededRNG
 from repro.tracing.coordinator import TracingCoordinator
@@ -94,6 +97,11 @@ class TenantRuntime:
         self.controller: Optional[ResourceController] = None
         self.controller_name = "none"
         self.firm: Optional[FIRMController] = None
+
+    @property
+    def admission(self) -> Optional[AdmissionGate]:
+        """The tenant's admission gate (lives on its application runtime)."""
+        return self.runtime.admission
 
     @property
     def display_name(self) -> str:
@@ -180,6 +188,12 @@ class ExperimentResult:
         #: journal merge and the ascending-shard-order registry fold.
         self.journal = None
         self.metrics = None
+        #: Admission-gate snapshot(s) of an admission-controlled run: the
+        #: gate's ``snapshot()`` dict for single-tenant runs, a dict of
+        #: them keyed by tenant for multi-tenant runs, None with admission
+        #: off.  A plain attribute for JSON byte-compatibility, like the
+        #: attributes above.
+        self.admission = None
 
     @property
     def mean_requested_cpu(self) -> float:
@@ -364,6 +378,11 @@ class ExperimentHarness:
         self._attach_controller(
             tenant, tenant_spec.controller, **tenant_spec.controller_kwargs
         )
+        admission = tenant_spec.admission
+        if admission is None and self.spec is not None:
+            admission = self.spec.admission
+        if admission is not None:
+            self._attach_admission(tenant, admission)
         return tenant
 
     @staticmethod
@@ -537,6 +556,7 @@ class ExperimentHarness:
             observability=spec.observability,
         )
         harness.spec = spec
+        cls._apply_dispatch_policy(harness, spec)
         if spec.routing is not None:
             harness.cluster.set_routing_policy(spec.routing)
         if spec.replicas:
@@ -551,6 +571,8 @@ class ExperimentHarness:
         if campaign is not None:
             harness.attach_injector(campaign)
         harness.attach_controller(spec.controller, **spec.controller_kwargs)
+        if spec.admission is not None:
+            harness.attach_admission(spec.admission)
         return harness
 
     @classmethod
@@ -570,12 +592,40 @@ class ExperimentHarness:
             observability=spec.observability,
         )
         harness.spec = spec
+        cls._apply_dispatch_policy(harness, spec)
         if spec.routing is not None:
             harness.cluster.set_routing_policy(spec.routing)
         for tenant_spec in spec.tenants:
             harness.add_tenant(tenant_spec)
         harness.telemetry.start()
         return harness
+
+    @staticmethod
+    def _apply_dispatch_policy(harness: "ExperimentHarness", spec: ScenarioSpec) -> None:
+        """Install the spec's distributed-dispatch policy (if any).
+
+        ``dispatchers=1`` installs nothing: the classic omniscient router
+        keeps running byte-identically.  ``dispatchers >= 2`` sets the
+        cluster-wide policy to the requested ``stale_*`` variant; it is
+        mutually exclusive with an explicit ``routing`` policy.
+        """
+        if int(spec.dispatchers) <= 1:
+            return
+        if spec.routing is not None:
+            raise ValueError(
+                "dispatchers and routing are mutually exclusive: the "
+                "dispatcher set is itself the cluster-wide routing policy"
+            )
+        if spec.dispatch_variant not in DISPATCH_VARIANTS:
+            known = ", ".join(DISPATCH_VARIANTS)
+            raise ValueError(
+                f"unknown dispatch variant {spec.dispatch_variant!r}; known: {known}"
+            )
+        harness.cluster.set_routing_policy(
+            f"stale_{spec.dispatch_variant}",
+            dispatchers=int(spec.dispatchers),
+            staleness_s=float(spec.dispatch_staleness_s),
+        )
 
     @staticmethod
     def _scheduler_from_spec(spec: ScenarioSpec, rng: SeededRNG) -> Optional[Scheduler]:
@@ -684,6 +734,26 @@ class ExperimentHarness:
         if campaign is not None:
             tenant.injector.schedule_all(campaign.specs)
         return tenant.injector
+
+    # -------------------------------------------------------------- admission
+    def attach_admission(self, config) -> Optional[AdmissionGate]:
+        """Attach admission control to the primary tenant's runtime.
+
+        ``config`` is a preset name or an
+        :class:`~repro.admission.config.AdmissionConfig`; ``None`` (and
+        no-op configs, including the ``"none"`` preset) detach any current
+        gate, restoring the byte-identical pre-admission fast path.
+        """
+        return self._attach_admission(self._primary, config)
+
+    def _attach_admission(self, tenant: TenantRuntime, config) -> Optional[AdmissionGate]:
+        resolved = resolve_admission_config(config)
+        if resolved is None:
+            tenant.runtime.admission = None
+            return None
+        gate = AdmissionGate(tenant.runtime, tenant.rng, resolved, obs=self.obs)
+        tenant.runtime.admission = gate
+        return gate
 
     # -------------------------------------------------------------------- run
     def run(
@@ -952,6 +1022,18 @@ class ExperimentHarness:
         if self.obs is not None:
             result.journal = self.obs.journal.as_dicts()
             result.metrics = self.obs.registry
+        gates = {
+            t[0].display_name: t[0].runtime.admission
+            for t in trackers
+            if t[0].runtime.admission is not None
+        }
+        if gates:
+            if self.is_multi_tenant:
+                result.admission = {
+                    name: gate.snapshot() for name, gate in gates.items()
+                }
+            else:
+                result.admission = next(iter(gates.values())).snapshot()
         return result
 
 

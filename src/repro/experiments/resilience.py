@@ -332,44 +332,65 @@ def resilience_scenario_spec(case: ResilienceCase) -> ScenarioSpec:
 # Running and scoring one case
 # ---------------------------------------------------------------------------
 
-def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
-    """Run one resilience cell end to end and score it.
+class LocalizationScorer:
+    """Windowed localization scoring against the injector's ground truth.
 
-    Every ``window_s`` the extractor's flags are compared with the
-    injector's ground truth over the same window: a service counts as a
-    true culprit when a significant injection targeting it (or pressuring
-    a node it lives on) overlapped the window; scoring is restricted to
-    services that appeared on critical paths (localization can only rank
-    what the traces show).  With ``case.train_svm`` the SVM filter is additionally
-    trained online from ground truth between windows, as in Fig. 9(b).
+    Owns the recurring evaluation loop one resilience (or metastable)
+    run attaches to its harness: every ``window_s`` simulated seconds the
+    critical-component extractor's flags are compared with the injector's
+    ground truth over the same window, and the resulting
+    :class:`WindowScore` list accumulates on :attr:`windows`.  Extracted
+    from :func:`run_resilience_case` so the metastable scenario family
+    scores localization with byte-identical machinery.
     """
-    spec = resilience_scenario_spec(case)
-    from repro.experiments.harness import ExperimentHarness
 
-    harness = ExperimentHarness.from_spec(spec)
-    tenant = harness.tenant("victim") if case.multi_tenant else harness.tenants[0]
-    injector = tenant.injector
-    coordinator = tenant.coordinator
-    component_extractor = CriticalComponentExtractor(svm=IncrementalSVM(input_dim=2))
-    path_extractor = CriticalPathExtractor()
-    windows: List[WindowScore] = []
+    def __init__(
+        self,
+        harness,
+        tenant,
+        window_s: float,
+        significant_intensity: float = 0.5,
+        train_svm: bool = False,
+    ) -> None:
+        self.harness = harness
+        self.tenant = tenant
+        self.window_s = float(window_s)
+        self.significant_intensity = float(significant_intensity)
+        self.train_svm = bool(train_svm)
+        self.component_extractor = CriticalComponentExtractor(
+            svm=IncrementalSVM(input_dim=2)
+        )
+        self.path_extractor = CriticalPathExtractor()
+        self.windows: List[WindowScore] = []
 
-    def _evaluate(engine) -> None:
-        # Ground truth covers every significant injection overlapping the
-        # analysis window [now - window_s, now) — not just the ones still
-        # active at the probe instant, since the window's traces carry the
-        # symptoms of anomalies that ended mid-window too.
+    def attach(self, until_s: float, name: str = "resilience-evaluate") -> None:
+        """Schedule the recurring evaluation on the harness engine."""
+        self.harness.engine.schedule_recurring(
+            self.window_s, self.evaluate, name=name, until=until_s
+        )
+
+    def evaluate(self, engine) -> None:
+        """Score the window ``[now - window_s, now)`` (the recurring body).
+
+        Ground truth covers every significant injection overlapping the
+        analysis window — not just the ones still active at the probe
+        instant, since the window's traces carry the symptoms of
+        anomalies that ended mid-window too.
+        """
+        injector = self.tenant.injector
+        coordinator = self.tenant.coordinator
+        component_extractor = self.component_extractor
         targets, node_names = injector.ground_truth_window(
-            engine.now - case.window_s,
+            engine.now - self.window_s,
             engine.now,
-            min_intensity=case.significant_intensity,
+            min_intensity=self.significant_intensity,
         )
         truth_targets = set(targets)
         injected_nodes = set(node_names)
-        traces = coordinator.recent_traces(case.window_s)
+        traces = coordinator.recent_traces(self.window_s)
         if not traces:
             return
-        paths = path_extractor.extract_all(traces)
+        paths = self.path_extractor.extract_all(traces)
         if coordinator.telemetry_mode == "sketch":
             # Windowed (RI, CI) from the coordinator's per-instance
             # sketches, restricted to instances on the window's CPs.
@@ -377,7 +398,7 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
                 {span.instance for path in paths for span in path.spans}
             )
             features = coordinator.instance_features(
-                case.window_s,
+                self.window_s,
                 instances=instances,
                 min_samples=component_extractor.min_samples,
             )
@@ -396,7 +417,7 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
             service = feature.service
             on_injected_node = False
             try:
-                instance = harness.cluster.instance_by_name(feature.instance)
+                instance = self.harness.cluster.instance_by_name(feature.instance)
                 node = instance.container.node
                 on_injected_node = node is not None and node.name in injected_nodes
             except KeyError:
@@ -406,9 +427,9 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
             if flag:
                 flagged.add(service)
         hits = len(flagged & truth)
-        windows.append(
+        self.windows.append(
             WindowScore(
-                start_s=engine.now - case.window_s,
+                start_s=engine.now - self.window_s,
                 end_s=engine.now,
                 truth=sorted(truth),
                 flagged=sorted(flagged),
@@ -416,7 +437,7 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
                 recall=1.0 if not truth else hits / len(truth),
             )
         )
-        if case.train_svm:
+        if self.train_svm:
             if coordinator.telemetry_mode == "sketch":
                 labels = [
                     1 if feature.service in truth_targets else 0
@@ -428,9 +449,44 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
                     paths, traces, sorted(truth_targets)
                 )
 
-    harness.engine.schedule_recurring(
-        case.window_s, _evaluate, name="resilience-evaluate", until=spec.duration_s
+    def micro_averages(self) -> Tuple[float, float]:
+        """Micro-averaged (precision, recall) over all scored windows."""
+        total_flagged = sum(len(window.flagged) for window in self.windows)
+        total_truth = sum(len(window.truth) for window in self.windows)
+        total_hits = sum(
+            len(set(window.flagged) & set(window.truth)) for window in self.windows
+        )
+        return (
+            1.0 if total_flagged == 0 else total_hits / total_flagged,
+            1.0 if total_truth == 0 else total_hits / total_truth,
+        )
+
+
+def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
+    """Run one resilience cell end to end and score it.
+
+    Every ``window_s`` the extractor's flags are compared with the
+    injector's ground truth over the same window: a service counts as a
+    true culprit when a significant injection targeting it (or pressuring
+    a node it lives on) overlapped the window; scoring is restricted to
+    services that appeared on critical paths (localization can only rank
+    what the traces show).  With ``case.train_svm`` the SVM filter is additionally
+    trained online from ground truth between windows, as in Fig. 9(b).
+    """
+    spec = resilience_scenario_spec(case)
+    from repro.experiments.harness import ExperimentHarness
+
+    harness = ExperimentHarness.from_spec(spec)
+    tenant = harness.tenant("victim") if case.multi_tenant else harness.tenants[0]
+    scorer = LocalizationScorer(
+        harness,
+        tenant,
+        window_s=case.window_s,
+        significant_intensity=case.significant_intensity,
+        train_svm=case.train_svm,
     )
+    scorer.attach(until_s=spec.duration_s)
+    windows = scorer.windows
     result = harness.run(
         duration_s=spec.duration_s, sample_period_s=spec.sample_period_s
     )
@@ -445,16 +501,12 @@ def run_resilience_case(case: ResilienceCase) -> ResilienceOutcome:
         mitigation = result.mitigation
         neighbor_summary = None
 
-    total_flagged = sum(len(window.flagged) for window in windows)
-    total_truth = sum(len(window.truth) for window in windows)
-    total_hits = sum(
-        len(set(window.flagged) & set(window.truth)) for window in windows
-    )
+    precision, recall = scorer.micro_averages()
     return ResilienceOutcome(
         case=case,
         windows=windows,
-        precision=1.0 if total_flagged == 0 else total_hits / total_flagged,
-        recall=1.0 if total_truth == 0 else total_hits / total_truth,
+        precision=precision,
+        recall=recall,
         slo_violation_seconds=float(sum(mitigation.mitigation_times_s())),
         time_to_mitigate_s=mitigation.mean_mitigation_time_s(),
         summary=summary,

@@ -35,6 +35,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.experiments.harness import ExperimentHarness, ExperimentResult
 
 
+def _admission_name(admission: Optional[Any]) -> Optional[str]:
+    """The display name of an ``admission`` field value (None when unset)."""
+    if admission is None:
+        return None
+    return admission if isinstance(admission, str) else admission.name
+
+
 @dataclass
 class TenantSpec:
     """One tenant of a multi-tenant scenario.
@@ -82,6 +89,13 @@ class TenantSpec:
         un-namespaced service name).  Services are topped up to the given
         count right after deployment — the knob routing studies need,
         since policies only differ where a replica set offers a choice.
+    admission:
+        Optional admission-control policy for this tenant's workload: a
+        preset name (see
+        :data:`~repro.admission.config.ADMISSION_PRESETS`) or a full
+        :class:`~repro.admission.config.AdmissionConfig`.  None inherits
+        the scenario-wide ``admission`` (and, when that is unset too,
+        requests bypass admission entirely).
     """
 
     name: str
@@ -98,6 +112,7 @@ class TenantSpec:
     node_quota: Optional[int] = None
     routing: Optional[str] = None
     replicas: Optional[Dict[str, int]] = None
+    admission: Optional[Any] = None
 
     def with_overrides(self, **overrides) -> "TenantSpec":
         """A copy of this tenant spec with the given fields replaced."""
@@ -165,6 +180,25 @@ class ScenarioSpec:
         each span.  Applies to every service of every tenant unless a
         tenant overrides it; None keeps the default ``least_in_flight``
         (byte-identical to the pre-routing-subsystem behaviour).
+    dispatchers / dispatch_variant / dispatch_staleness_s:
+        Distributed-dispatch knobs.  ``dispatchers >= 2`` replaces the
+        omniscient router with a :class:`~repro.routing.DispatcherSet` of
+        that many dispatchers, each holding a bounded-staleness partial
+        view refreshed every ``dispatch_staleness_s`` simulated seconds,
+        selecting replicas per ``dispatch_variant`` (``"jiq"``,
+        ``"ewma"``, or ``"p2c"``; see
+        :data:`~repro.routing.DISPATCH_VARIANTS`).  Mutually exclusive
+        with ``routing``.  ``dispatchers=1`` (the default) never
+        instantiates a dispatcher set — the classic router runs
+        byte-identically.
+    admission:
+        Optional admission-control policy applied to every tenant's
+        workload entry: a preset name (``"naive_retries"``,
+        ``"survival_kit"``, ...; see
+        :data:`~repro.admission.config.ADMISSION_PRESETS`) or a full
+        :class:`~repro.admission.config.AdmissionConfig`.  None (and the
+        ``"none"`` preset) leaves request submission byte-identical to
+        the pre-admission runtime.
     replicas:
         Optional per-service initial replica overrides for single-tenant
         scenarios (service name -> replica count); services are topped up
@@ -208,6 +242,10 @@ class ScenarioSpec:
     placement: Optional[str] = None
     cluster_nodes: Optional[Tuple[int, int]] = None
     routing: Optional[str] = None
+    dispatchers: int = 1
+    dispatch_variant: str = "jiq"
+    dispatch_staleness_s: float = 0.25
+    admission: Optional[Any] = None
     replicas: Optional[Dict[str, int]] = None
     telemetry_mode: str = "sketch"
     observability: bool = False
@@ -221,6 +259,14 @@ class ScenarioSpec:
     def scenario_id(self) -> str:
         """Stable human-readable identity (used to key sweep results)."""
         routing_part = f"/routing={self.routing}" if self.routing else ""
+        if self.dispatchers > 1:
+            routing_part += (
+                f"/dispatchers={self.dispatchers}:{self.dispatch_variant}"
+                f"@{self.dispatch_staleness_s:g}"
+            )
+        admission = _admission_name(self.admission)
+        if admission is not None and admission != "none":
+            routing_part += f"/admission={admission}"
         if self.tenants:
             tenant_part = "+".join(
                 f"{tenant.name}:{tenant.application}/{tenant.controller}"

@@ -15,6 +15,11 @@ different slice of the stack:
 * ``resilience_campaign`` — dense service-wide anomaly arrivals over a
   replicated application, the anomaly-subsystem shape (multi-node target
   resolution, per-node pressure, scale-event refresh);
+* ``dispatch_admission`` — a replicated social network behind three
+  stale-view JIQ dispatchers with the full survival-kit admission gate
+  and a transient anomaly — the distributed-dispatch + admission shape
+  (I-queue refresh, token bucket, timeout budgets, retries/hedges,
+  breaker bookkeeping);
 * ``sharded_multitenant`` — the multi-tenant interference shape executed
   on the sharded engine (``shards=2``): per-tenant event shards in worker
   processes synchronized by conservative time windows
@@ -192,6 +197,12 @@ def _resilience_campaign(duration_s: float) -> List[ScenarioSpec]:
     return [campaign_macro_spec(duration_s, seed=0)]
 
 
+def _dispatch_admission(duration_s: float) -> List[ScenarioSpec]:
+    from repro.experiments.metastable import metastable_macro_spec
+
+    return [metastable_macro_spec(duration_s, seed=0)]
+
+
 MACRO_BENCHMARKS: Dict[str, MacroBenchmark] = {
     benchmark.name: benchmark
     for benchmark in (
@@ -222,6 +233,13 @@ MACRO_BENCHMARKS: Dict[str, MacroBenchmark] = {
             full_duration_s=15.0,
             quick_duration_s=5.0,
             build_specs=_resilience_campaign,
+        ),
+        MacroBenchmark(
+            name="dispatch_admission",
+            description="stale-view dispatchers + survival-kit admission under a transient anomaly",
+            full_duration_s=15.0,
+            quick_duration_s=5.0,
+            build_specs=_dispatch_admission,
         ),
         MacroBenchmark(
             name="telemetry_fleet",

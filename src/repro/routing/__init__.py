@@ -13,6 +13,10 @@ balancer into a subsystem mirroring the controller registry:
   ``least_in_flight`` (the default, bit-identical to the pre-subsystem
   behaviour), ``round_robin``, ``random``, ``power_of_two_choices``,
   ``ewma_latency``, and ``join_the_idle_queue``;
+* :mod:`repro.routing.dispatchers` — :class:`DispatcherSet`: N
+  dispatchers with bounded-staleness partial views behind one policy
+  (``stale_jiq`` private I-queues, ``stale_ewma``, ``stale_p2c``), the
+  distributed-dispatch regime where JIQ differentiates from P2C/EWMA;
 * :mod:`repro.routing.router` — the per-cluster :class:`RequestRouter`
   resolving service → policy (per-service override, then tenant default,
   then cluster default) and stamping each decision into span tags.
@@ -39,10 +43,13 @@ from repro.routing.base import (
     register_policy,
     resolve_policy_name,
 )
+from repro.routing.dispatchers import DISPATCH_VARIANTS, DispatcherSet
 from repro.routing.router import RequestRouter, RoutingDecision
 
 __all__ = [
     "DEFAULT_POLICY",
+    "DISPATCH_VARIANTS",
+    "DispatcherSet",
     "RoutingPolicy",
     "RequestRouter",
     "RoutingDecision",

@@ -130,7 +130,8 @@ def register_policy(name: str, *, aliases: Sequence[str] = ()) -> Callable:
 
 
 def _ensure_builtin_policies() -> None:
-    """Import the module whose import registers the built-in policies."""
+    """Import the modules whose imports register the built-in policies."""
+    import repro.routing.dispatchers  # noqa: F401
     import repro.routing.policies  # noqa: F401
 
 

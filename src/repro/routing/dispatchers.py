@@ -1,0 +1,298 @@
+"""Distributed dispatchers with stale partial views (:class:`DispatcherSet`).
+
+The classic :class:`~repro.routing.router.RequestRouter` is *omniscient*:
+every decision reads the live replica set, so ``least_in_flight`` always
+sees the true queue depths.  Real front-end fleets are not like that — a
+service is fronted by N dispatchers, each holding a *partial, stale* view
+of the replica pool, refreshed on a bounded-staleness schedule.  The JIQ
+line of work in PAPERS.md (Wang, Feng & Cheng, "Distributed
+Join-the-Idle-Queue for Low Latency Cloud Services") only differentiates
+from P2C/EWMA in exactly this regime, which is why this module exists.
+
+:class:`DispatcherSet` is one :class:`~repro.routing.base.RoutingPolicy`
+that internally models N dispatchers:
+
+* arrivals are assigned to dispatchers by deterministic rotation (real
+  deployments hash or DNS-round-robin clients over dispatchers; rotation
+  is the seed-stable equivalent);
+* each dispatcher owns a :class:`DispatcherView` — a snapshot of
+  per-replica in-flight counts (and, per variant, an EWMA table copy or a
+  private JIQ I-queue) refreshed only when older than ``staleness_s``
+  simulated seconds, plus *optimistic local increments* for the spans it
+  dispatched since the last refresh (a dispatcher knows what it sent,
+  even if it cannot see what the others sent);
+* three selection variants share the machinery: ``stale_jiq`` (private
+  FIFO I-queues; idle replicas enroll with exactly one dispatcher by
+  rotation; uniform-random fallback under saturation), ``stale_ewma``
+  (peak-EWMA scoring over the stale snapshot), and ``stale_p2c`` (two
+  random probes compared on stale in-flight counts).
+
+Because a ``DispatcherSet`` *is* a routing policy, it resolves through the
+existing per-service → tenant → cluster policy chain untouched, and the
+determinism contract holds: all randomness comes from the policy's
+``routing:<name>:<service>`` substream, and virtual time is read from the
+live replicas' shared engine (never wall clock).  ``dispatchers=1`` on a
+:class:`~repro.experiments.scenario.ScenarioSpec` never instantiates this
+class at all — the classic omniscient router runs byte-identically.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.routing.base import RoutingPolicy, register_policy
+from repro.routing.policies import EWMALatencyPolicy
+from repro.sim.rng import SeededRNG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.instance import MicroserviceInstance
+
+__all__ = [
+    "DISPATCH_VARIANTS",
+    "DispatcherSet",
+    "DispatcherView",
+    "StaleEWMAPolicy",
+    "StaleJIQPolicy",
+    "StaleP2CPolicy",
+]
+
+#: The selection variants a :class:`DispatcherSet` can run.
+DISPATCH_VARIANTS = ("jiq", "ewma", "p2c")
+
+
+class DispatcherView:
+    """One dispatcher's stale partial view of a service's replica pool.
+
+    ``in_flight`` is the per-replica load *as of the last refresh* plus
+    the optimistic increments for spans this dispatcher routed since;
+    ``ewma_ms`` is a point-in-time copy of the shared latency table; and
+    ``idle`` is this dispatcher's private JIQ I-queue (replicas that
+    reported idle to *this* dispatcher, FIFO by enrollment).  Keys are
+    instance identities, never names: ``service#index`` names are reused
+    across scale-in/scale-out, and a fresh replica is a different server.
+    """
+
+    __slots__ = ("index", "last_refresh_s", "in_flight", "ewma_ms", "idle")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        #: Virtual time of the last refresh (None = never refreshed).
+        self.last_refresh_s: Optional[float] = None
+        self.in_flight: Dict["MicroserviceInstance", int] = {}
+        self.ewma_ms: Dict["MicroserviceInstance", float] = {}
+        self.idle: "OrderedDict[MicroserviceInstance, None]" = OrderedDict()
+
+    def stale_load(self, instance: "MicroserviceInstance") -> int:
+        """The load this dispatcher believes ``instance`` carries."""
+        return self.in_flight.get(instance, 0)
+
+    def refresh(
+        self,
+        now: float,
+        replicas: Sequence["MicroserviceInstance"],
+        ewma_source: Dict["MicroserviceInstance", float],
+    ) -> None:
+        """Re-snapshot the live pool state (the bounded-staleness poll)."""
+        self.last_refresh_s = now
+        self.in_flight = {instance: instance.in_flight for instance in replicas}
+        self.ewma_ms = dict(ewma_source)
+        # The I-queue is push-maintained (idle replicas enroll as they
+        # idle); a refresh only evicts entries the poll proves busy, so a
+        # stale-but-now-busy replica cannot linger a full staleness
+        # window beyond the next refresh.
+        for instance in [i for i in self.idle if self.in_flight.get(i, 0) > 0]:
+            del self.idle[instance]
+
+
+class DispatcherSet(RoutingPolicy):
+    """N dispatchers with bounded-staleness views behind one policy.
+
+    Parameters
+    ----------
+    service_name / rng:
+        Standard :class:`~repro.routing.base.RoutingPolicy` wiring.
+    dispatchers:
+        Dispatcher count N (>= 1).  Arrivals rotate over dispatchers
+        deterministically.
+    staleness_s:
+        Maximum view age in simulated seconds.  ``0`` refreshes on every
+        arrival (an omniscient dispatcher set — useful as the staleness
+        grid's control point).
+    variant:
+        Selection rule: ``"jiq"``, ``"ewma"``, or ``"p2c"`` (subclasses
+        pin it; see :data:`DISPATCH_VARIANTS`).
+    alpha:
+        EWMA smoothing factor for the shared latency table (``ewma``
+        variant).
+    """
+
+    variant = "jiq"
+
+    def __init__(
+        self,
+        service_name: str,
+        rng: SeededRNG,
+        dispatchers: int = 2,
+        staleness_s: float = 0.25,
+        alpha: float = 0.3,
+    ) -> None:
+        super().__init__(service_name, rng)
+        if int(dispatchers) < 1:
+            raise ValueError(f"dispatchers must be >= 1, got {dispatchers}")
+        if float(staleness_s) < 0.0:
+            raise ValueError(f"staleness_s must be >= 0, got {staleness_s}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.dispatchers = int(dispatchers)
+        self.staleness_s = float(staleness_s)
+        self.alpha = float(alpha)
+        self._views: List[DispatcherView] = [
+            DispatcherView(i) for i in range(self.dispatchers)
+        ]
+        #: Arrival counter; ``arrivals % N`` is the serving dispatcher.
+        self._arrivals = 0
+        #: Idle-enrollment counter; idling replicas join one I-queue each.
+        self._enrollments = 0
+        #: The shared (true) latency EWMA table, fed by completions.  The
+        #: dispatchers only ever see their refresh-time *copies* of it.
+        self._ewma_ms: "weakref.WeakKeyDictionary[MicroserviceInstance, float]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: Replicas ever observed (first sight seeds the I-queues).
+        self._known: "weakref.WeakSet[MicroserviceInstance]" = weakref.WeakSet()
+
+    # ----------------------------------------------------------- feedback
+    def observe_completion(
+        self, instance: "MicroserviceInstance", latency_ms: float
+    ) -> None:
+        """Maintain the shared EWMA table and the JIQ idle enrollment.
+
+        An idling replica announces itself to exactly *one* dispatcher
+        (rotation), the defining partial-view property of distributed
+        JIQ: the other N-1 dispatchers stay ignorant of the idle token
+        until their own views refresh.
+        """
+        previous = self._ewma_ms.get(instance)
+        if previous is None:
+            self._ewma_ms[instance] = float(latency_ms)
+        else:
+            self._ewma_ms[instance] = (
+                self.alpha * float(latency_ms) + (1.0 - self.alpha) * previous
+            )
+        self._known.add(instance)
+        if instance.in_flight == 0:
+            self._enroll_idle(instance)
+
+    def _enroll_idle(self, instance: "MicroserviceInstance") -> None:
+        """Move ``instance``'s idle token to the next dispatcher's I-queue."""
+        for view in self._views:
+            view.idle.pop(instance, None)
+        view = self._views[self._enrollments % self.dispatchers]
+        self._enrollments += 1
+        view.idle[instance] = None
+
+    # ---------------------------------------------------------- selection
+    def select(
+        self, replicas: Sequence["MicroserviceInstance"]
+    ) -> "MicroserviceInstance":
+        now = replicas[0].engine.now
+        for instance in replicas:
+            if instance not in self._known:
+                self._known.add(instance)
+                if instance.in_flight == 0:
+                    self._enroll_idle(instance)
+        view = self._views[self._arrivals % self.dispatchers]
+        self._arrivals += 1
+        if (
+            view.last_refresh_s is None
+            or now - view.last_refresh_s >= self.staleness_s
+        ):
+            view.refresh(now, replicas, self._ewma_ms)
+        choice = self._select_from_view(view, replicas)
+        # Optimistic local increment: the dispatcher knows what *it* just
+        # sent, even though the other dispatchers' spans stay invisible
+        # until the next refresh.
+        view.in_flight[choice] = view.stale_load(choice) + 1
+        return choice
+
+    def _select_from_view(
+        self, view: DispatcherView, replicas: Sequence["MicroserviceInstance"]
+    ) -> "MicroserviceInstance":
+        if self.variant == "jiq":
+            return self._select_jiq(view, replicas)
+        if self.variant == "ewma":
+            return self._select_ewma(view, replicas)
+        return self._select_p2c(view, replicas)
+
+    def _select_jiq(
+        self, view: DispatcherView, replicas: Sequence["MicroserviceInstance"]
+    ) -> "MicroserviceInstance":
+        live = set(replicas)
+        while view.idle:
+            candidate, _ = view.idle.popitem(last=False)
+            # Liveness is the only fresh fact consulted: a scaled-in
+            # replica is unroutable, but a replica that merely got busy
+            # since enrolling is still dispatched to — the JIQ staleness
+            # artifact this policy exists to model.
+            if candidate in live:
+                return candidate
+        stream = self.rng.stream(self.stream_name())
+        return replicas[int(stream.integers(0, len(replicas)))]
+
+    def _select_ewma(
+        self, view: DispatcherView, replicas: Sequence["MicroserviceInstance"]
+    ) -> "MicroserviceInstance":
+        cold = EWMALatencyPolicy.COLD_EWMA_MS
+        return min(
+            replicas,
+            key=lambda instance: (
+                view.ewma_ms.get(instance, cold) * (view.stale_load(instance) + 1),
+                instance.replica_index,
+            ),
+        )
+
+    def _select_p2c(
+        self, view: DispatcherView, replicas: Sequence["MicroserviceInstance"]
+    ) -> "MicroserviceInstance":
+        count = len(replicas)
+        if count == 1:
+            return replicas[0]
+        stream = self.rng.stream(self.stream_name())
+        first = int(stream.integers(0, count))
+        second = int(stream.integers(0, count - 1))
+        if second >= first:
+            second += 1
+        pair = (replicas[first], replicas[second])
+        return min(
+            pair,
+            key=lambda instance: (view.stale_load(instance), instance.replica_index),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(service={self.service_name!r}, "
+            f"dispatchers={self.dispatchers}, staleness_s={self.staleness_s})"
+        )
+
+
+@register_policy("stale_jiq", aliases=("dispatchers",))
+class StaleJIQPolicy(DispatcherSet):
+    """N JIQ dispatchers with private I-queues and stale fallback views."""
+
+    variant = "jiq"
+
+
+@register_policy("stale_ewma")
+class StaleEWMAPolicy(DispatcherSet):
+    """N peak-EWMA dispatchers scoring over bounded-staleness snapshots."""
+
+    variant = "ewma"
+
+
+@register_policy("stale_p2c")
+class StaleP2CPolicy(DispatcherSet):
+    """N power-of-two-choices dispatchers probing stale in-flight counts."""
+
+    variant = "p2c"

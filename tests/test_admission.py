@@ -1,0 +1,358 @@
+"""Tests for the admission-control survival kit (:mod:`repro.admission`).
+
+Unit tier: token bucket, circuit breaker state machine, and config
+validation/presets.  Integration tier: the gate threaded through
+:class:`~repro.apps.runtime.ApplicationRuntime` on real scenarios —
+shedding as first-class dropped traces, retries and timeout scopes,
+breaker transitions in the obs journal, and the byte-identity contract
+(``admission="none"`` == admission unset).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.admission import (
+    ADMISSION_PRESETS,
+    AdmissionConfig,
+    CircuitBreaker,
+    CircuitBreakerConfig,
+    HedgePolicy,
+    RetryPolicy,
+    TokenBucket,
+    admission_name,
+    resolve_admission_config,
+)
+from repro.experiments.scenario import ScenarioSpec, run_scenario
+
+
+def _jsonable(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if hasattr(value, "as_dict"):
+        return _jsonable(value.as_dict())
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _fingerprint(result) -> str:
+    return json.dumps(
+        {
+            "fields": _jsonable(result),
+            "tenants": result.per_tenant_summary(),
+            "latencies": result.slo.latencies_ms,
+        },
+        indent=2,
+        default=str,
+        sort_keys=True,
+    )
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        application="social_network",
+        seed=0,
+        duration_s=5.0,
+        load_rps=60.0,
+        controller="none",
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# ---------------------------------------------------------------------------
+# Token bucket
+# ---------------------------------------------------------------------------
+
+class TestTokenBucket:
+    def test_burst_capacity_admits_then_refuses(self):
+        bucket = TokenBucket(rate_rps=10.0, capacity=3.0)
+        assert [bucket.take(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_is_time_proportional_and_capped(self):
+        bucket = TokenBucket(rate_rps=10.0, capacity=3.0)
+        for _ in range(3):
+            bucket.take(0.0)
+        assert not bucket.take(0.05)   # only 0.5 tokens back
+        assert bucket.take(0.11)       # 1.1 tokens back
+        bucket.refill(1000.0)
+        assert bucket.tokens == pytest.approx(3.0)  # capped at capacity
+
+    def test_priority_watermarks_shed_low_class_first(self):
+        bucket = TokenBucket(rate_rps=10.0, capacity=4.0)
+        # Class 1 of 2 needs >= half the capacity left after its draw.
+        assert bucket.take(0.0, priority=1, levels=2)
+        assert bucket.take(0.0, priority=1, levels=2)
+        assert not bucket.take(0.0, priority=1, levels=2)  # below watermark
+        assert bucket.take(0.0, priority=0, levels=2)      # class 0 still in
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+def _breaker(threshold=3, cooldown=1.0, probes=2, on_transition=None):
+    return CircuitBreaker(
+        CircuitBreakerConfig(
+            enabled=True,
+            failure_threshold=threshold,
+            cooldown_s=cooldown,
+            half_open_probes=probes,
+        ),
+        on_transition=on_transition,
+    )
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = _breaker(threshold=3)
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert breaker.state == "closed"
+        breaker.record_failure(0.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(0.5)
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = _breaker(threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == "closed"
+
+    def test_half_open_after_cooldown_with_bounded_probes(self):
+        breaker = _breaker(threshold=1, cooldown=1.0, probes=2)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(0.5)
+        assert breaker.allow(1.5)       # probe 1
+        assert breaker.state == "half_open"
+        assert breaker.allow(1.6)       # probe 2
+        assert not breaker.allow(1.7)   # probe cap
+
+    def test_probe_successes_close_probe_failure_reopens(self):
+        breaker = _breaker(threshold=1, cooldown=1.0, probes=2)
+        breaker.record_failure(0.0)
+        breaker.allow(1.5)
+        breaker.allow(1.5)
+        breaker.record_success(1.6)
+        breaker.record_failure(1.6)
+        assert breaker.state == "open"
+        breaker2 = _breaker(threshold=1, cooldown=1.0, probes=2)
+        breaker2.record_failure(0.0)
+        breaker2.allow(1.5)
+        breaker2.record_success(1.6)
+        breaker2.allow(1.7)
+        breaker2.record_success(1.8)
+        assert breaker2.state == "closed"
+
+    def test_transition_hook_sees_every_edge(self):
+        edges = []
+        breaker = _breaker(
+            threshold=1, cooldown=1.0, probes=1,
+            on_transition=lambda old, new, now: edges.append((old, new)),
+        )
+        breaker.record_failure(0.0)
+        breaker.allow(1.5)
+        breaker.record_success(1.6)
+        assert edges == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        assert breaker.transitions == 3
+
+
+# ---------------------------------------------------------------------------
+# Config and presets
+# ---------------------------------------------------------------------------
+
+class TestConfig:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        retry = RetryPolicy(
+            max_attempts=5, backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.3
+        )
+        assert retry.backoff_s(2) == pytest.approx(0.1)
+        assert retry.backoff_s(3) == pytest.approx(0.2)
+        assert retry.backoff_s(4) == pytest.approx(0.3)  # capped
+        assert retry.backoff_s(5) == pytest.approx(0.3)
+
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="priority_levels"):
+            AdmissionConfig(priority_levels=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            AdmissionConfig(retry=RetryPolicy(max_attempts=0))
+        with pytest.raises(ValueError, match="timeout_scope"):
+            AdmissionConfig(timeout_scope="per_call")
+
+    def test_priority_of_clamps_and_defaults_to_lowest(self):
+        config = AdmissionConfig(
+            priority_levels=2, priorities={"login": 0, "weird": 9}
+        )
+        assert config.priority_of("login") == 0
+        assert config.priority_of("weird") == 1      # clamped
+        assert config.priority_of("unmapped") == 1   # lowest class
+
+    def test_effective_burst_defaults_to_one_second_of_refill(self):
+        assert AdmissionConfig(rate_limit_rps=80.0).effective_burst() == 80.0
+        assert AdmissionConfig(rate_limit_rps=80.0, burst=10.0).effective_burst() == 10.0
+
+    def test_presets_resolve_and_none_is_noop(self):
+        assert resolve_admission_config(None) is None
+        assert resolve_admission_config("none") is None
+        assert resolve_admission_config(AdmissionConfig()) is None  # no-op config
+        kit = resolve_admission_config("survival_kit")
+        assert kit is ADMISSION_PRESETS["survival_kit"]
+        assert not kit.is_noop
+        assert admission_name("survival_kit") == "survival_kit"
+        assert admission_name(None) is None
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown admission preset"):
+            resolve_admission_config("nope")
+
+    def test_naive_retries_preset_uses_attempt_scope(self):
+        naive = ADMISSION_PRESETS["naive_retries"]
+        assert naive.timeout_scope == "attempt"
+        assert naive.retry.max_attempts > 1
+        assert naive.retry.jitter == 0.0
+
+    def test_with_overrides_keeps_frozen_base(self):
+        kit = ADMISSION_PRESETS["survival_kit"]
+        derived = kit.with_overrides(rate_limit_rps=10.0)
+        assert derived.rate_limit_rps == 10.0
+        assert kit.rate_limit_rps != 10.0
+        assert derived.retry == kit.retry
+
+
+# ---------------------------------------------------------------------------
+# Gate integration on real scenarios
+# ---------------------------------------------------------------------------
+
+class TestGateIntegration:
+    def test_admission_none_is_byte_identical_to_unset(self):
+        plain = _fingerprint(run_scenario(_spec()))
+        explicit = _fingerprint(run_scenario(_spec(admission="none")))
+        assert explicit == plain
+
+    def test_admission_absent_from_result_when_unset(self):
+        assert run_scenario(_spec()).admission is None
+
+    def test_repeat_runs_are_identical(self):
+        spec = _spec(admission="survival_kit")
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert _fingerprint(first) == _fingerprint(second)
+        assert first.admission == second.admission
+
+    def test_scenario_id_carries_admission_policy(self):
+        assert "/admission=survival_kit" in _spec(admission="survival_kit").scenario_id
+        assert "/admission" not in _spec().scenario_id
+
+    def test_rate_limit_sheds_as_first_class_drops(self):
+        config = AdmissionConfig(name="tight", rate_limit_rps=20.0, burst=5.0)
+        result = run_scenario(_spec(load_rps=80.0, admission=config))
+        stats = result.admission
+        assert stats["policy"] == "tight"
+        assert stats["shed"] > 0
+        assert stats["shed_by_reason"].get("rate_limit", 0) == stats["shed"]
+        assert stats["submitted"] == stats["admitted"] + stats["shed"]
+        # Shed requests are first-class drops: offered load still counts
+        # them, and the drop accounting sees every one.
+        assert result.slo.dropped >= stats["shed"]
+
+    def test_attempt_scope_retries_despite_total_elapsed(self):
+        # Budget scope: a late completion exhausts the budget, no retry.
+        budget = AdmissionConfig(
+            name="budget", timeout_budget_s=0.001,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=0.01, jitter=0.0),
+        )
+        budget_stats = run_scenario(_spec(admission=budget)).admission
+        assert budget_stats["retries"] == 0
+        assert budget_stats["deadline_exceeded"] > 0
+        # Attempt scope: the timer resets per launch, so the same late
+        # completions each arm a retry (the storm mechanism).
+        attempt_stats = run_scenario(
+            _spec(admission=budget.with_overrides(name="naive", timeout_scope="attempt"))
+        ).admission
+        assert attempt_stats["retries"] > 0
+        assert attempt_stats["amplification"] > 1.0
+
+    def test_retry_records_land_in_journal(self):
+        config = AdmissionConfig(
+            name="retrying", timeout_budget_s=0.01, timeout_scope="attempt",
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.01, jitter=0.0),
+        )
+        result = run_scenario(_spec(admission=config, observability=True))
+        kinds = {record["kind"] for record in result.journal}
+        assert "retry" in kinds
+        retry = next(r for r in result.journal if r["kind"] == "retry")
+        assert retry["data"]["attempt"] == 2
+        assert retry["source"].startswith("admission:")
+
+    def test_breaker_opens_sheds_and_journals_transitions(self):
+        config = AdmissionConfig(
+            name="trigger_breaker", timeout_budget_s=0.001,
+            breaker=CircuitBreakerConfig(
+                enabled=True, failure_threshold=3, cooldown_s=1.0, half_open_probes=2
+            ),
+        )
+        result = run_scenario(_spec(admission=config, observability=True))
+        stats = result.admission
+        assert stats["shed_by_reason"].get("breaker", 0) > 0
+        assert stats["breakers"]["nginx"]["transitions"] > 0
+        kinds = {record["kind"] for record in result.journal}
+        assert {"breaker_transition", "admission_decision"} <= kinds
+        transition = next(
+            r for r in result.journal if r["kind"] == "breaker_transition"
+        )
+        assert transition["data"]["old"] == "closed"
+        assert transition["data"]["new"] == "open"
+        decision = next(
+            r for r in result.journal if r["kind"] == "admission_decision"
+        )
+        assert decision["data"]["decision"] == "shed"
+
+    def test_hedge_launches_duplicate_attempt(self):
+        config = AdmissionConfig(
+            name="hedging", hedge=HedgePolicy(delay_s=0.001, max_hedges=1)
+        )
+        stats = run_scenario(_spec(admission=config)).admission
+        assert stats["hedges"] > 0
+        assert stats["attempts"] > stats["admitted"]
+        # First completion wins exactly once per logical request (the
+        # remainder are still in flight at scenario end).
+        settled = stats["succeeded"] + stats["failed"]
+        assert settled == stats["admitted"] - stats["in_flight"]
+
+    def test_concurrency_limit_sheds_by_reason(self):
+        config = AdmissionConfig(name="tiny_pool", max_concurrent=1)
+        stats = run_scenario(_spec(load_rps=100.0, admission=config)).admission
+        assert stats["shed_by_reason"].get("concurrency", 0) > 0
+
+    def test_per_tenant_admission_overrides_scenario_default(self):
+        from repro.experiments.scenario import TenantSpec
+
+        spec = ScenarioSpec(
+            seed=2, duration_s=4.0, cluster_nodes=(2, 0),
+            admission="shed_only",
+            tenants=[
+                TenantSpec(name="gated", application="hotel_reservation",
+                           load_rps=15.0),
+                TenantSpec(name="open", application="social_network",
+                           load_rps=15.0, admission="none"),
+            ],
+        )
+        result = run_scenario(spec)
+        assert set(result.admission) == {"gated"}
+        assert result.admission["gated"]["policy"] == "shed_only"

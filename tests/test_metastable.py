@@ -1,0 +1,245 @@
+"""Tests for the metastable-failure scenario family
+(:mod:`repro.experiments.metastable`) and its CLI plumbing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.metastable import (
+    METASTABLE_CAMPAIGNS,
+    MetastableCase,
+    build_metastable_campaign,
+    metastable_campaign_cases,
+    metastable_macro_spec,
+    metastable_scenario_spec,
+    metastable_sweep_grid,
+    run_metastable_campaign,
+    run_metastable_case,
+    run_metastable_sweep,
+)
+
+
+def _quick_case(**overrides) -> MetastableCase:
+    base = dict(
+        seed=3,
+        duration_s=6.0,
+        load_rps=40.0,
+        anomaly_start_s=1.0,
+        anomaly_duration_s=2.0,
+        window_s=2.0,
+    )
+    base.update(overrides)
+    return MetastableCase(**base)
+
+
+# ---------------------------------------------------------------------------
+# Case data and spec expansion
+# ---------------------------------------------------------------------------
+
+class TestCase:
+    def test_unknown_admission_preset_rejected(self):
+        with pytest.raises(ValueError, match="unknown admission preset"):
+            MetastableCase(admission="nope")
+
+    def test_nonpositive_anomaly_duration_rejected(self):
+        with pytest.raises(ValueError, match="anomaly_duration_s"):
+            MetastableCase(anomaly_duration_s=0.0)
+
+    def test_case_id_carries_the_grid_axes(self):
+        case = MetastableCase(
+            admission="shed_only", rate_limit_rps=60.0,
+            dispatchers=3, dispatch_variant="p2c", dispatch_staleness_s=0.5,
+        )
+        assert "admission=shed_only" in case.case_id
+        assert "rate=60" in case.case_id
+        assert "dispatchers=3:p2c@0.5" in case.case_id
+
+    def test_rate_override_derives_from_preset(self):
+        case = MetastableCase(admission="shed_only", rate_limit_rps=33.0)
+        resolved = case.resolved_admission()
+        assert resolved.rate_limit_rps == 33.0
+        assert "33" in resolved.name
+        # The preset itself stays untouched.
+        assert MetastableCase(admission="shed_only").resolved_admission().rate_limit_rps != 33.0
+
+    def test_spec_expansion_wires_everything(self):
+        case = _quick_case(admission="survival_kit", dispatchers=2)
+        spec = metastable_scenario_spec(case)
+        assert spec.dispatchers == 2
+        assert spec.admission is not None
+        assert spec.campaign is not None
+        assert spec.replicas  # replicated fleet for the dispatchers
+        assert spec.duration_s == case.duration_s
+
+    def test_campaign_is_one_transient_service_wide_burst(self):
+        case = _quick_case()
+        campaign = build_metastable_campaign(case)
+        assert len(campaign.specs) == 1
+        injection = campaign.specs[0]
+        assert injection.start_s == case.anomaly_start_s
+        assert injection.duration_s == case.anomaly_duration_s
+
+    def test_macro_spec_keeps_anomaly_inside_quick_window(self):
+        spec = metastable_macro_spec(5.0, seed=0)
+        assert spec.duration_s == 5.0
+        injection = spec.campaign.specs[0]
+        assert injection.start_s + injection.duration_s <= 5.0
+        assert spec.dispatchers == 3
+        assert spec.admission.name == "survival_kit"
+
+
+# ---------------------------------------------------------------------------
+# Campaign expansion
+# ---------------------------------------------------------------------------
+
+class TestCampaigns:
+    def test_unknown_campaign_rejected(self):
+        with pytest.raises(ValueError, match="unknown metastable campaign"):
+            metastable_campaign_cases("nope")
+
+    def test_retry_storm_compares_the_three_presets(self):
+        cases = metastable_campaign_cases("retry_storm", seed=1)
+        assert [case.admission for case in cases] == [
+            "none", "naive_retries", "survival_kit",
+        ]
+        assert all(case.seed == 1 for case in cases)
+
+    def test_shed_vs_violate_sweeps_the_rate_limit(self):
+        cases = metastable_campaign_cases("shed_vs_violate")
+        assert all(case.admission == "shed_only" for case in cases)
+        rates = [case.rate_limit_rps for case in cases]
+        assert rates == sorted(rates)
+        assert len(set(rates)) == len(rates)
+
+    def test_staleness_grid_crosses_dispatchers_and_staleness(self):
+        cases = metastable_campaign_cases("staleness_grid")
+        cells = {(case.dispatchers, case.dispatch_staleness_s) for case in cases}
+        assert (1, 0.0) in cells  # the omniscient control point
+        assert len(cells) == len(cases)
+
+    def test_quick_mode_shrinks_durations_and_grids(self):
+        full = metastable_campaign_cases("shed_vs_violate")
+        quick = metastable_campaign_cases("shed_vs_violate", quick=True)
+        assert len(quick) < len(full)
+        assert quick[0].duration_s < full[0].duration_s
+
+    def test_overrides_reach_every_case(self):
+        cases = metastable_campaign_cases("retry_storm", load_rps=33.0)
+        assert all(case.load_rps == 33.0 for case in cases)
+
+    def test_sweep_grid_is_preset_major(self):
+        cases = metastable_sweep_grid(
+            presets=("none", "survival_kit"), seeds=(0, 1), load_rps=25.0
+        )
+        assert [(c.admission, c.seed) for c in cases] == [
+            ("none", 0), ("none", 1), ("survival_kit", 0), ("survival_kit", 1),
+        ]
+        with pytest.raises(ValueError, match="unknown admission preset"):
+            metastable_sweep_grid(presets=("nope",))
+
+
+# ---------------------------------------------------------------------------
+# Scored execution
+# ---------------------------------------------------------------------------
+
+class TestExecution:
+    def test_outcome_row_shape_and_determinism(self):
+        case = _quick_case(admission="survival_kit")
+        first = run_metastable_case(case)
+        second = run_metastable_case(case)
+        row = first.as_dict()
+        assert row["case_id"] == case.case_id
+        assert row["windows_scored"] >= 1
+        assert 0.0 <= row["precision"] <= 1.0
+        assert 0.0 <= row["recall"] <= 1.0
+        assert row["amplification"] >= 1.0
+        assert row["admission_stats"]["policy"] == "survival_kit"
+        assert row == second.as_dict()
+
+    def test_post_trigger_violation_bounded_by_total(self):
+        outcome = run_metastable_case(_quick_case(admission="naive_retries"))
+        assert 0.0 <= outcome.post_trigger_violation_s
+        assert outcome.post_trigger_violation_s <= outcome.slo_violation_seconds
+
+    def test_no_admission_case_reports_no_stats(self):
+        outcome = run_metastable_case(_quick_case(admission="none"))
+        assert outcome.admission is None
+        assert outcome.amplification == 1.0
+
+    def test_parallel_sweep_matches_serial(self):
+        cases = metastable_sweep_grid(
+            presets=("none", "naive_retries"),
+            base=_quick_case(),
+        )
+        serial = [o.as_dict() for o in run_metastable_sweep(cases, workers=1)]
+        parallel = [o.as_dict() for o in run_metastable_sweep(cases, workers=2)]
+        assert serial == parallel
+
+    def test_campaign_scoreboard_carries_verdict(self):
+        board = run_metastable_campaign(
+            "retry_storm", seed=3, quick=True,
+            duration_s=6.0, load_rps=40.0,
+            anomaly_start_s=1.0, anomaly_duration_s=2.0, window_s=2.0,
+        )
+        assert board["campaign"] == "retry_storm"
+        assert len(board["cases"]) == 3
+        verdict = board["verdict"]
+        assert verdict["axis"] == "admission"
+        assert set(verdict["violation_seconds"]) == {
+            "none", "naive_retries", "survival_kit",
+        }
+        assert "kit_damps_storm" in verdict
+
+    def test_all_campaigns_are_expandable(self):
+        for campaign in METASTABLE_CAMPAIGNS:
+            assert metastable_campaign_cases(campaign, quick=True)
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing
+# ---------------------------------------------------------------------------
+
+class TestCli:
+    def test_run_metastable_campaign_mode(self, capsys):
+        code = main([
+            "run", "metastable", "--preset", "retry_storm", "--quick",
+            "--duration", "6", "--load", "40", "--seed", "3",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["campaign"] == "retry_storm"
+        assert len(payload["cases"]) == 3
+
+    def test_run_metastable_single_case_with_run_record(self, tmp_path, capsys):
+        record_dir = tmp_path / "record"
+        code = main([
+            "run", "metastable", "--admission", "naive_retries", "--quick",
+            "--duration", "6", "--load", "40", "--obs-dir", str(record_dir),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["admission"] == "naive_retries"
+        assert payload["observability"]["by_kind"].get("retry", 0) > 0
+        assert (record_dir / "journal.jsonl").exists()
+        assert (record_dir / "metrics.json").exists()
+
+    def test_run_metastable_unknown_campaign_exits_cleanly(self, capsys):
+        assert main(["run", "metastable", "--preset", "nope"]) == 2
+        assert "unknown metastable campaign" in capsys.readouterr().err
+
+    def test_sweep_admission_grid(self, capsys):
+        code = main([
+            "sweep", "--admission", "none,shed_only", "--seeds", "3",
+            "--loads", "40", "--duration", "6",
+        ])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["admission"] for row in rows] == ["none", "shed_only"]
+        assert all("slo_violation_seconds" in row for row in rows)
+
+    def test_sweep_admission_unknown_preset_exits_cleanly(self, capsys):
+        assert main(["sweep", "--admission", "nope"]) == 2
+        assert "unknown admission preset" in capsys.readouterr().err
