@@ -114,7 +114,11 @@ class ApplicationRuntime:
                 node.profile, replicas=node.initial_replicas, limits=limits
             )
         for request_type in self.app.request_types.values():
-            self.coordinator.register_slo(request_type.name, request_type.slo_latency_ms)
+            self.coordinator.register_slo(
+                request_type.name,
+                request_type.slo_latency_ms,
+                services=request_type.services(),
+            )
         self._deployed = True
 
     # -------------------------------------------------------------- execute

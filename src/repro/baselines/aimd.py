@@ -51,6 +51,8 @@ class AIMDConfig:
 class AIMDController(BaselineController):
     """Additive-increase / multiplicative-decrease limit controller."""
 
+    stage_subscriptions = ("slo_verdict", "comfortable")
+
     def __init__(self, *args, config: AIMDConfig | None = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.config = config or AIMDConfig()
@@ -61,8 +63,15 @@ class AIMDController(BaselineController):
         """Apply AIMD to every container based on end-to-end SLO status."""
         cfg = self.config
         window = self.control_interval_s
-        violating = self.coordinator.has_slo_violation(window, percentile=cfg.tail_percentile)
-        comfortable = self._is_comfortable(window)
+        violating = self.stages.pull(
+            "slo_verdict", window_s=window, percentile=cfg.tail_percentile
+        )
+        comfortable = self.stages.pull(
+            "comfortable",
+            window_s=window,
+            percentile=cfg.tail_percentile,
+            slack_threshold=cfg.slack_threshold,
+        )
 
         for container in self.cluster.all_containers():
             if container.id not in self._steps:
@@ -84,17 +93,16 @@ class AIMDController(BaselineController):
                 )
 
     def _is_comfortable(self, window_s: float) -> bool:
-        """True when every request type's tail latency is well inside its SLO."""
+        """True when every request type's tail latency is well inside its SLO.
+
+        Delegates to the ``comfortable`` stage (the logic lives there so a
+        staged stack shares one computation per window); kept as a method
+        because tests and subclasses call it directly.
+        """
         cfg = self.config
-        slos = self.coordinator.slo_latency_ms
-        if not slos:
-            return False
-        for request_type, slo in slos.items():
-            tail = self.coordinator.latency_percentile_ms(
-                cfg.tail_percentile, window_s, request_type
-            )
-            if tail <= 0:
-                continue
-            if tail > cfg.slack_threshold * slo:
-                return False
-        return True
+        return self.stages.pull(
+            "comfortable",
+            window_s=window_s,
+            percentile=cfg.tail_percentile,
+            slack_threshold=cfg.slack_threshold,
+        )

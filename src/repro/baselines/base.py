@@ -44,18 +44,54 @@ class ResourceController(abc.ABC):
         self.control_interval_s = float(control_interval_s)
         self.rounds_executed = 0
         self._running = False
+        #: True only after an explicit stop() — distinguishes "retired"
+        #: from "never started" (composed stacks drive member rounds
+        #: directly without ever starting their loops).
+        self._stopped = False
         self._control_event: Optional[Event] = None
+        self._stages = None
         #: Observability bundle (set by the harness when enabled; None
         #: keeps the control loop uninstrumented).
         self.obs = None
         #: Journal source label for this controller's records.
         self.obs_source = type(self).__name__
 
+    #: Stage names this controller pulls each round (documentation +
+    #: ``describe_controllers`` output; the DAG itself is declared by the
+    #: stages' own ``requires``).
+    stage_subscriptions: tuple = ()
+
+    @property
+    def stages(self):
+        """The controller's :class:`~repro.controllers.manager.StageRuntime`.
+
+        The harness binds one per tenant through :meth:`bind_stages`
+        (sharing the tenant's manager and cache); a controller built
+        outside a harness lazily self-binds to a private disabled manager
+        so stage pulls always work and always reproduce the legacy
+        direct-computation path.
+        """
+        if self._stages is None:
+            from repro.controllers.manager import ControllerManager, StageBinding
+
+            manager = ControllerManager(self.engine, enabled=False)
+            binding = StageBinding(
+                coordinator=self.coordinator, view=self.cluster, engine=self.engine
+            )
+            self.bind_stages(manager.runtime_for(binding))
+        return self._stages
+
+    def bind_stages(self, runtime) -> None:
+        """Attach a stage runtime.  Subclasses extend this to donate
+        stateful helpers into the shared binding (see FIRM)."""
+        self._stages = runtime
+
     def start(self) -> None:
         """Start the periodic control loop."""
         if self._running:
             return
         self._running = True
+        self._stopped = False
         self._control_event = self.engine.schedule_recurring(
             self.control_interval_s,
             lambda eng: self._round_wrapper(),
@@ -65,6 +101,7 @@ class ResourceController(abc.ABC):
     def stop(self) -> None:
         """Stop the control loop and cancel its pending recurrence."""
         self._running = False
+        self._stopped = True
         if self._control_event is not None:
             self._control_event.cancel()
             self._control_event = None
@@ -138,6 +175,7 @@ def _ensure_builtin_controllers() -> None:
     """Import the modules whose import registers the built-in policies."""
     import repro.baselines.aimd  # noqa: F401
     import repro.baselines.kubernetes_hpa  # noqa: F401
+    import repro.controllers.composed  # noqa: F401
     import repro.core.firm  # noqa: F401
 
 
@@ -145,6 +183,36 @@ def available_controllers() -> List[str]:
     """Registered controller names (aliases excluded), sorted."""
     _ensure_builtin_controllers()
     return sorted(_FACTORIES)
+
+
+def describe_controllers() -> List[Dict[str, object]]:
+    """One row per registered controller: name, aliases, summary, stages.
+
+    The summary is the factory docstring's first line; ``stages`` lists
+    the factory's declared ``stage_subscriptions`` (classes inherit the
+    attribute from :class:`ResourceController`, wrapper functions carry
+    their own).  Backs ``repro.cli controllers --list`` so sweeps stop
+    guessing at registered names.
+    """
+    _ensure_builtin_controllers()
+    alias_map: Dict[str, List[str]] = {}
+    for alias, canonical in _ALIASES.items():
+        alias_map.setdefault(canonical, []).append(alias)
+    rows: List[Dict[str, object]] = []
+    for name in sorted(_FACTORIES):
+        factory = _FACTORIES[name]
+        doc = (factory.__doc__ or "").strip()
+        summary = doc.splitlines()[0].strip() if doc else ""
+        stages = tuple(getattr(factory, "stage_subscriptions", ()) or ())
+        rows.append(
+            {
+                "name": name,
+                "aliases": sorted(alias_map.get(name, [])),
+                "summary": summary,
+                "stages": list(stages),
+            }
+        )
+    return rows
 
 
 def resolve_controller_name(name: str) -> str:

@@ -14,7 +14,6 @@ import math
 from dataclasses import dataclass
 
 from repro.baselines.base import BaselineController, register_controller
-from repro.cluster.resources import Resource
 
 
 @dataclass
@@ -46,6 +45,8 @@ class HPAConfig:
 class KubernetesAutoscaler(BaselineController):
     """CPU-utilization-driven replica autoscaler (the K8s default)."""
 
+    stage_subscriptions = ("service_cpu_utilization",)
+
     def __init__(self, *args, config: HPAConfig | None = None, **kwargs) -> None:
         kwargs.setdefault("control_interval_s", 30.0)
         super().__init__(*args, **kwargs)
@@ -56,25 +57,26 @@ class KubernetesAutoscaler(BaselineController):
 
         ``desired = ceil(current_replicas * observed / target)`` with a
         tolerance dead-band, exactly as the Kubernetes controller computes
-        it from the mean CPU utilization of a service's pods.
+        it from the mean CPU utilization of a service's pods.  The
+        observation comes from the cluster-scoped
+        ``service_cpu_utilization`` stage, so co-resident controller
+        stacks share one utilization sweep per window.
         """
         cfg = self.config
         for service_name in self.cluster.services():
-            replicas = self.cluster.replicas_of(service_name)
-            if not replicas:
+            observation = self.stages.pull(
+                "service_cpu_utilization", service=service_name
+            )
+            if observation is None:
                 continue
-            utilizations = [
-                replica.utilization()[Resource.CPU] for replica in replicas
-            ]
-            observed = sum(utilizations) / len(utilizations)
+            current, observed = observation
             if cfg.target_cpu_utilization <= 0:
                 continue
             ratio = observed / cfg.target_cpu_utilization
             if abs(ratio - 1.0) <= cfg.tolerance:
                 continue
-            desired = math.ceil(len(replicas) * ratio)
+            desired = math.ceil(current * ratio)
             desired = max(cfg.min_replicas, min(cfg.max_replicas, desired))
-            current = len(replicas)
             step = max(-cfg.max_step, min(cfg.max_step, desired - current))
             if step > 0:
                 for _ in range(step):

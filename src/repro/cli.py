@@ -8,6 +8,8 @@ Usage::
     python -m repro.cli run interference --preset aggressor_victim
     python -m repro.cli run routing --preset interference --policies jiq,p2c
     python -m repro.cli run resilience --preset multi_anomaly
+    python -m repro.cli run composed --duration 10
+    python -m repro.cli controllers --list
     python -m repro.cli sweep --campaigns single_sweep,random \
         --controllers firm,aimd,none --workers 2
     python -m repro.cli compare --application social_network --duration 120
@@ -360,6 +362,39 @@ def _run_metastable(args: argparse.Namespace):
     )
 
 
+def _run_composed(args: argparse.Namespace):
+    """Run the composed controller stack (staged framework end to end).
+
+    ``--preset`` selects the victim's composition mode (``svm_gated_rl``,
+    the default, or ``priority_chain``); ``--legacy-controllers`` turns
+    the controller-manager memoization off (stage results are
+    byte-identical either way — the flag only changes how often shared
+    stages recompute).
+    """
+    from repro.experiments.composed import run_composed
+
+    mode = getattr(args, "preset", None) or "svm_gated_rl"
+    kwargs: Dict[str, Any] = {
+        "seed": getattr(args, "seed", 0),
+        "mode": mode,
+        "controller_manager": not getattr(args, "legacy_controllers", False),
+    }
+    if args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    return run_composed(**kwargs)
+
+
+def _run_controllers(args: argparse.Namespace) -> int:
+    """``repro.cli controllers --list``: print the controller registry."""
+    from repro.baselines.base import describe_controllers
+
+    for row in describe_controllers():
+        aliases = f" (aliases: {', '.join(row['aliases'])})" if row["aliases"] else ""
+        stages = f" [stages: {', '.join(row['stages'])}]" if row["stages"] else ""
+        print(f"{row['name']}{aliases}: {row['summary']}{stages}")
+    return 0
+
+
 def _run_inspect(args: argparse.Namespace) -> int:
     """``repro.cli inspect <run-record>``: print the causal timeline."""
     from repro.obs.inspector import inspect_run_record
@@ -376,6 +411,7 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], Any]] = {
     "fig9": _run_fig9,
     "fig10": _run_fig10,
     "fig11": _run_fig11,
+    "composed": _run_composed,
     "interference": _run_interference,
     "metastable": _run_metastable,
     "resilience": _run_resilience,
@@ -480,7 +516,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run record (journal.jsonl, metrics.json/.prom, "
         "summary.json, trace.json) to this directory; implies --obs",
     )
+    run_parser.add_argument(
+        "--legacy-controllers", action="store_true",
+        help="run the composed experiment with controller-manager stage "
+        "memoization off (byte-identical results, legacy recompute path)",
+    )
     run_parser.add_argument("--out", default=None, help="write the JSON result to this path")
+
+    controllers_parser = subparsers.add_parser(
+        "controllers",
+        help="inspect the controller registry",
+    )
+    controllers_parser.add_argument(
+        "--list", action="store_true",
+        help="print every registered controller: name, aliases, summary, "
+        "and stage subscriptions",
+    )
 
     inspect_parser = subparsers.add_parser(
         "inspect",
@@ -870,6 +921,9 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
+    if args.command == "controllers":
+        return _run_controllers(args)
+
     # Scenario/preset resolution errors (unknown preset names, bad spec
     # combinations, missing run records) are user errors, not bugs: report
     # them as one clean line on stderr and exit non-zero, no traceback.
@@ -891,6 +945,7 @@ def main(argv=None) -> int:
             payload = _run_sweep(args)
         else:
             if args.experiment not in (
+                "composed",
                 "interference",
                 "metastable",
                 "resilience",

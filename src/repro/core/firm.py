@@ -113,6 +113,8 @@ class ControlRoundRecord:
 class FIRMController(ResourceController):
     """The full FIRM resource-management loop over a simulated cluster."""
 
+    stage_subscriptions = ("slo_verdict", "critical_path", "detection")
+
     def __init__(
         self,
         cluster: Cluster,
@@ -146,6 +148,23 @@ class FIRMController(ResourceController):
         #: Last right-sizing time per container id (rate-limits reclaim).
         self._last_reclaim: Dict[str, float] = {}
         self.rounds: List[ControlRoundRecord] = []
+        #: Mean critic TD-error (MSE) of the most recent training pass;
+        #: None until any agent has run an update.  Composed policies gate
+        #: on this as the critic-uncertainty signal.
+        self.last_critic_loss: Optional[float] = None
+
+    def bind_stages(self, runtime) -> None:
+        """Donate the online-trained Extractor so the shared detection
+        stage runs the same SVM this controller trains."""
+        super().bind_stages(runtime)
+        runtime.provide(
+            (
+                "extractor",
+                float(self.extractor.window_s),
+                float(self.extractor.detection_percentile),
+            ),
+            self.extractor,
+        )
 
     # ----------------------------------------------------------------- agents
     def agent_for(self, service_name: str) -> DDPGAgent:
@@ -176,22 +195,40 @@ class FIRMController(ResourceController):
         return self._environments[instance.name]
 
     def _slo_for_instance(self, instance: MicroserviceInstance) -> float:
-        """SLO applied to an instance: the tightest SLO among request types."""
-        if not self.coordinator.slo_latency_ms:
+        """SLO applied to an instance: the tightest SLO among the request
+        types actually routed through the instance's service, falling back
+        to the global minimum when none match (e.g. SLOs registered
+        without service lists)."""
+        slos = self.coordinator.slo_latency_ms
+        if not slos:
             return 500.0
-        return min(self.coordinator.slo_latency_ms.values())
+        service = instance.profile.name
+        matched = [
+            slo
+            for request_type, slo in slos.items()
+            if service in self.coordinator.services_for_request_type(request_type)
+        ]
+        if matched:
+            return min(matched)
+        return min(slos.values())
 
     # ------------------------------------------------------------------ loop
     def control_round(self) -> ControlRoundRecord:
         """Run one detect -> localize -> estimate -> actuate round."""
-        if not self._running and self.rounds:
-            # Loop was stopped; record a no-op round for bookkeeping.
+        if self._stopped:
+            # Loop was stopped; record a no-op round so rounds_executed
+            # and len(self.rounds) stay consistent.
             record = ControlRoundRecord(self.engine.now, False, [], 0, 0.0)
+            self.rounds.append(record)
             return record
 
         self._settle_pending_rewards()
 
-        extraction = self.extractor.analyse()
+        extraction = self.stages.pull(
+            "detection",
+            window_s=self.extractor.window_s,
+            percentile=self.extractor.detection_percentile,
+        )
         actions_applied = 0
         rewards: List[float] = []
 
@@ -349,8 +386,13 @@ class FIRMController(ResourceController):
     def _train_agents(self) -> None:
         """Run one DDPG update on every agent with enough replay data."""
         agents = [self.shared_agent] + list(self._per_service_agents.values())
+        losses: List[float] = []
         for agent in agents:
-            agent.train_step()
+            metrics = agent.train_step()
+            if metrics is not None:
+                losses.append(metrics["critic_loss"])
+        if losses:
+            self.last_critic_loss = float(np.mean(losses))
 
     def _reclaim_idle_resources(self) -> float:
         """Right-size over-provisioned containers when SLOs are met.
@@ -425,3 +467,6 @@ def _firm_one_for_each(
     """FIRM with per-microservice ("one-for-each") agents."""
     config = dataclasses.replace(config or FIRMConfig(), per_service_agents=True)
     return FIRMController(cluster, coordinator, orchestrator, engine, config=config, **kwargs)
+
+
+_firm_one_for_each.stage_subscriptions = FIRMController.stage_subscriptions

@@ -43,6 +43,7 @@ from repro.cluster.node import NodeSpec
 from repro.cluster.orchestrator import Orchestrator
 from repro.cluster.scheduler import PlacementPolicy, Scheduler
 from repro.cluster.telemetry import TelemetryCollector
+from repro.controllers.manager import ControllerManager, StageBinding, StageCache
 from repro.core.firm import FIRMConfig, FIRMController
 from repro.experiments.scenario import ScenarioSpec, TenantSpec, run_scenario
 from repro.metrics.latency import LatencyStats
@@ -97,6 +98,8 @@ class TenantRuntime:
         self.controller: Optional[ResourceController] = None
         self.controller_name = "none"
         self.firm: Optional[FIRMController] = None
+        #: The tenant's controller-stage manager (set by the harness).
+        self.manager = None
 
     @property
     def admission(self) -> Optional[AdmissionGate]:
@@ -248,9 +251,18 @@ class ExperimentHarness:
         request_counter=None,
         telemetry_mode: str = "raw",
         observability: bool = False,
+        controller_manager: bool = False,
     ) -> None:
         self.engine = engine
         self.rng = rng
+        #: Whether controller stages are memoized per window by each
+        #: tenant's ControllerManager (off = legacy direct computation,
+        #: byte-identical results either way — stages are pure reads).
+        self.controller_manager = bool(controller_manager)
+        #: Cache shared by every tenant's manager for cluster-scoped
+        #: stages (service names are globally unique, so one computation
+        #: serves all tenants).
+        self._cluster_stage_cache = StageCache()
         #: Per-run observability bundle (journal + metrics registry), or
         #: None when disabled — every instrumentation site checks for None
         #: so the disabled path stays byte-identical to pre-obs behaviour.
@@ -304,6 +316,7 @@ class ExperimentHarness:
         if self.obs is not None:
             orchestrator.obs = self.obs
             orchestrator.obs_source = tenant.display_name
+        tenant.manager = self._build_stage_manager()
         self.tenants.append(tenant)
         return tenant
 
@@ -356,6 +369,7 @@ class ExperimentHarness:
         if self.obs is not None:
             orchestrator.obs = self.obs
             orchestrator.obs_source = tenant.display_name
+        tenant.manager = self._build_stage_manager()
         self.tenants.append(tenant)
 
         runtime.deploy()
@@ -513,6 +527,7 @@ class ExperimentHarness:
         request_counter=None,
         telemetry_mode: str = "raw",
         observability: bool = False,
+        controller_manager: bool = False,
     ) -> "ExperimentHarness":
         """Build a harness for one of the four benchmark applications."""
         engine = SimulationEngine()
@@ -521,7 +536,7 @@ class ExperimentHarness:
         harness = cls(
             app, engine, rng, scheduler=scheduler, node_specs=node_specs,
             request_counter=request_counter, telemetry_mode=telemetry_mode,
-            observability=observability,
+            observability=observability, controller_manager=controller_manager,
         )
         harness.runtime.deploy()
         harness.telemetry.start()
@@ -554,6 +569,7 @@ class ExperimentHarness:
             request_counter=request_counter,
             telemetry_mode=spec.telemetry_mode,
             observability=spec.observability,
+            controller_manager=spec.controller_manager,
         )
         harness.spec = spec
         cls._apply_dispatch_policy(harness, spec)
@@ -590,6 +606,7 @@ class ExperimentHarness:
             request_counter=request_counter,
             telemetry_mode=spec.telemetry_mode,
             observability=spec.observability,
+            controller_manager=spec.controller_manager,
         )
         harness.spec = spec
         cls._apply_dispatch_policy(harness, spec)
@@ -664,6 +681,16 @@ class ExperimentHarness:
         """
         return self._attach_controller(self._primary, name, **kwargs)
 
+    def _build_stage_manager(self):
+        """A per-tenant ControllerManager sharing the cluster stage cache."""
+        return ControllerManager(
+            self.engine,
+            enabled=self.controller_manager,
+            cluster=self.cluster,
+            obs=self.obs,
+            cluster_cache=self._cluster_stage_cache,
+        )
+
     def _attach_controller(
         self, tenant: TenantRuntime, name: str, **kwargs
     ) -> Optional[ResourceController]:
@@ -673,6 +700,16 @@ class ExperimentHarness:
         if controller is not None and self.obs is not None:
             controller.obs = self.obs
             controller.obs_source = tenant.display_name
+        if controller is not None and tenant.manager is not None:
+            binding = StageBinding(
+                coordinator=tenant.coordinator,
+                view=tenant.view,
+                engine=self.engine,
+                key=tenant.display_name,
+                runtime=tenant,
+                source=tenant.display_name,
+            )
+            controller.bind_stages(tenant.manager.runtime_for(binding))
         if tenant.controller is not None:
             tenant.controller.stop()
         tenant.controller = controller

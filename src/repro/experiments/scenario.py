@@ -249,6 +249,12 @@ class ScenarioSpec:
     replicas: Optional[Dict[str, int]] = None
     telemetry_mode: str = "sketch"
     observability: bool = False
+    #: Memoize controller stages per control window through each tenant's
+    #: ControllerManager.  Stages are pure reads, so results are
+    #: byte-identical either way (pinned by the determinism suite);
+    #: excluded from scenario_id for the same reason telemetry_mode and
+    #: observability are.
+    controller_manager: bool = False
 
     @property
     def is_multi_tenant(self) -> bool:

@@ -25,7 +25,7 @@ Like the telemetry collector, the coordinator runs in one of two modes:
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -147,6 +147,10 @@ class TracingCoordinator:
             self._digest = None
         #: SLO latency per request type (ms); registered by the runtime.
         self.slo_latency_ms: Dict[str, float] = {}
+        #: Service names each request type's call plan actually touches
+        #: (when registered), letting controllers resolve per-instance SLOs
+        #: from the requests routed through the instance's service.
+        self.slo_request_services: Dict[str, Tuple[str, ...]] = {}
         #: Completion timestamps per request type, for arrival-rate estimation
         #: (raw mode; sketch mode uses ring counters instead).
         self._arrivals: Deque[Tuple[float, str]] = deque(maxlen=100_000)
@@ -160,9 +164,24 @@ class TracingCoordinator:
         self._completion_hooks_snapshot: Tuple[Callable[[Trace], None], ...] = ()
 
     # --------------------------------------------------------------- ingest
-    def register_slo(self, request_type: str, slo_latency_ms: float) -> None:
-        """Register the latency SLO for one request type."""
+    def register_slo(
+        self,
+        request_type: str,
+        slo_latency_ms: float,
+        services: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Register the latency SLO for one request type.
+
+        ``services`` optionally names the services the request type's call
+        plan traverses (see :meth:`services_for_request_type`).
+        """
         self.slo_latency_ms[request_type] = float(slo_latency_ms)
+        if services is not None:
+            self.slo_request_services[request_type] = tuple(services)
+
+    def services_for_request_type(self, request_type: str) -> Tuple[str, ...]:
+        """Services the request type routes through (empty if unregistered)."""
+        return self.slo_request_services.get(request_type, ())
 
     def begin_trace(self, request_id: str, request_type: str, arrival_time: float) -> Trace:
         """Create a trace (tagged with this coordinator's tenant, if any)."""

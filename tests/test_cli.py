@@ -52,7 +52,7 @@ class TestExecution:
         assert len(payload) == 7
 
     def test_all_experiments_registered(self):
-        expected = {"fig1", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "interference", "metastable", "resilience", "routing", "sharded", "table1", "table6", "summary"}
+        expected = {"fig1", "fig3", "fig4", "fig5", "fig9", "fig10", "fig11", "composed", "interference", "metastable", "resilience", "routing", "sharded", "table1", "table6", "summary"}
         assert set(EXPERIMENTS) == expected
 
     def test_run_resilience_reports_localization_and_mitigation(self, capsys):
